@@ -1,0 +1,228 @@
+package wmcs
+
+// Benchmark harness: one benchmark per experiment table of the simulated
+// evaluation (DESIGN.md §4) — BenchmarkE01…BenchmarkE11 and the ablation
+// BenchmarkA01 regenerate the same rows cmd/benchtab prints — plus micro
+// benchmarks of the algorithmic substrates the mechanisms stand on.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/euclid1"
+	"wmcs/internal/experiments"
+	"wmcs/internal/instances"
+	"wmcs/internal/jv"
+	"wmcs/internal/mech"
+	"wmcs/internal/memtred"
+	"wmcs/internal/mst"
+	"wmcs/internal/nwst"
+	"wmcs/internal/nwstmech"
+	"wmcs/internal/sharing"
+	"wmcs/internal/steiner"
+	"wmcs/internal/universal"
+	"wmcs/internal/wireless"
+	"wmcs/internal/wmech"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e := experiments.Lookup(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiments.Config{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := e.Run(cfg)
+		tab.Render(io.Discard)
+	}
+}
+
+func BenchmarkE01UniversalSubmodular(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE02UniversalShapley(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE03UniversalMC(b *testing.B)         { benchExperiment(b, "E3") }
+func BenchmarkE04Fig1Collusion(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE05NWSTMechanism(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE06WirelessBB(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE07Alpha1(b *testing.B)              { benchExperiment(b, "E7") }
+func BenchmarkE08Line(b *testing.B)                { benchExperiment(b, "E8") }
+func BenchmarkE09PentagonCore(b *testing.B)        { benchExperiment(b, "E9") }
+func BenchmarkE10MSTRatio(b *testing.B)            { benchExperiment(b, "E10") }
+func BenchmarkE11MoatMechanism(b *testing.B)       { benchExperiment(b, "E11") }
+func BenchmarkE12Multicast(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkA01TreeChoice(b *testing.B)          { benchExperiment(b, "A1") }
+func BenchmarkA04EfficiencyLoss(b *testing.B)      { benchExperiment(b, "A4") }
+
+// --- micro benchmarks of the substrates ---
+
+func BenchmarkExactMEMT12(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nw := instances.RandomEuclidean(rng, 12, 2, 2, 10)
+	R := nw.AllReceivers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wireless.ExactMEMT(nw, R)
+	}
+}
+
+func BenchmarkMSTBroadcast64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wireless.MSTBroadcast(nw)
+	}
+}
+
+func BenchmarkBIPBroadcast64(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wireless.BIPBroadcast(nw)
+	}
+}
+
+func BenchmarkLineOptimal32(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	nw := instances.RandomLine(rng, 32, 2, 10)
+	R := nw.AllReceivers()[:16]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wireless.LineOptimal(nw, R)
+	}
+}
+
+func BenchmarkTreeShapley64(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
+	ut := universal.SPT(nw)
+	R := nw.AllReceivers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ut.Shapley(R)
+	}
+}
+
+func BenchmarkExactShapley12(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	nw := instances.RandomEuclidean(rng, 13, 2, 2, 10)
+	ut := universal.SPT(nw)
+	agents := nw.AllReceivers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh := sharing.NewShapley(agents, ut.CostFunc())
+		sh.Shares(agents)
+	}
+}
+
+func BenchmarkLineGameBuild24(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	nw := instances.RandomLine(rng, 24, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		euclid1.NewLineGame(nw)
+	}
+}
+
+func BenchmarkLineShapley16(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	nw := instances.RandomLine(rng, 16, 2, 10)
+	g := euclid1.NewLineGame(nw)
+	R := nw.AllReceivers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Shapley(R)
+	}
+}
+
+func BenchmarkMoats32(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	nw := instances.RandomEuclidean(rng, 32, 2, 2, 10)
+	R := nw.AllReceivers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jv.Moats(nw, R, nil)
+	}
+}
+
+func BenchmarkSpiderOracleKR(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	nw := instances.RandomEuclidean(rng, 8, 2, 2, 10)
+	rd := memtred.New(nw)
+	in := rd.Instance(nw.AllReceivers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := nwst.NewState(in)
+		nwst.KleinRaviOracle(st, 3)
+	}
+}
+
+func BenchmarkSpiderOracleBranch(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	nw := instances.RandomEuclidean(rng, 8, 2, 2, 10)
+	rd := memtred.New(nw)
+	in := rd.Instance(nw.AllReceivers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := nwst.NewState(in)
+		nwst.BranchSpiderOracle(st, 3)
+	}
+}
+
+func BenchmarkNWSTMechanism(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	nw := instances.RandomEuclidean(rng, 8, 2, 2, 10)
+	rd := memtred.New(nw)
+	in := rd.Instance(nw.AllReceivers())
+	u := make(mech.Profile, rd.G.N())
+	for _, r := range nw.AllReceivers() {
+		u[rd.In[r]] = 1e6
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := nwstmech.New(in, nwst.KleinRaviOracle)
+		m.Run(u)
+	}
+}
+
+func BenchmarkWirelessBBMechanism(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	nw := instances.RandomEuclidean(rng, 10, 2, 2, 10)
+	u := mech.UniformProfile(nw.N(), 1e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := wmech.New(nw, nwst.KleinRaviOracle)
+		m.Run(u)
+	}
+}
+
+func BenchmarkDreyfusWagner(b *testing.B) {
+	p := instances.Pentagon(6, 2)
+	terms := append([]int{p.Source}, p.Externals...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steiner.DreyfusWagner(p.Chain, terms)
+	}
+}
+
+func BenchmarkKMB64(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
+	g := nw.CompleteGraph()
+	terms := []int{0, 5, 17, 33, 60}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steiner.KMB(g, terms)
+	}
+}
+
+func BenchmarkMSTPrimMatrix128(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	nw := instances.RandomEuclidean(rng, 128, 2, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mst.PrimMatrix(nw.CostMatrix(), 0)
+	}
+}

@@ -1,0 +1,37 @@
+// Command benchtab regenerates every table of the simulated evaluation
+// (experiments E1–E11 and the ablations of DESIGN.md §4), the
+// reproduction's stand-in for the paper's figures.
+//
+// Usage:
+//
+//	benchtab            # full suite (minutes)
+//	benchtab -quick     # reduced trial counts (seconds)
+//	benchtab -only E9   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wmcs/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced trial counts")
+		only  = flag.String("only", "", "run a single experiment by id (E1..E11, A1)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick}
+	if *only != "" {
+		e := experiments.Lookup(*only)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		e.Run(cfg).Render(os.Stdout)
+		return
+	}
+	experiments.RunAll(os.Stdout, cfg)
+}

@@ -1,0 +1,44 @@
+// Colluders: replay of the paper's Fig. 1 — the §2.2.2 NWST mechanism is
+// strategyproof but *not* group strategyproof. Agent 7 shades its report
+// below its true utility; it stays unserved (welfare 0 either way) but
+// its misreport reroutes the mechanism to a spider that charges its
+// co-conspirators 4/3 instead of 3/2 each.
+package main
+
+import (
+	"fmt"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/nwst"
+	"wmcs/internal/nwstmech"
+)
+
+func main() {
+	inst, truth, collude := instances.Fig1NWST(0.01)
+	m := nwstmech.New(inst, nwst.KleinRaviOracle)
+
+	names := map[int]string{
+		instances.Fig1T1: "x1", instances.Fig1T5: "x5",
+		instances.Fig1T6: "x6", instances.Fig1T7: "x7",
+	}
+	agents := []int{instances.Fig1T1, instances.Fig1T5, instances.Fig1T6, instances.Fig1T7}
+
+	honest := m.Run(truth)
+	fmt.Println("truthful reports (u1=u5=u6=3, u7=3/2):")
+	for _, a := range agents {
+		fmt.Printf("  %s: share %.4f  welfare %.4f\n", names[a], honest.Share(a), honest.Welfare(truth, a))
+	}
+
+	dev := m.Run(collude)
+	fmt.Println("\nx7 shades its report to 3/2 − ε:")
+	for _, a := range agents {
+		served := "served"
+		if !dev.IsReceiver(a) {
+			served = "dropped"
+		}
+		fmt.Printf("  %s: %s, share %.4f  welfare %.4f\n", names[a], served, dev.Share(a), dev.Welfare(truth, a))
+	}
+	fmt.Println("\nx1, x5, x6 each gain 5/3 − 3/2 = 1/6 while x7 loses nothing:")
+	fmt.Println("the coalition's joint misreport dominates truth-telling, so the")
+	fmt.Println("mechanism is not group strategyproof — exactly the paper's Fig. 1.")
+}

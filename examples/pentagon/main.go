@@ -1,0 +1,39 @@
+// Pentagon: the Lemma 3.3 / Fig. 2 construction. Five external stations
+// on a circle around the source, five internal relays, and unit-spaced
+// relay chains along the dotted lines. For α > 1 the induced multicast
+// cost-sharing game has an EMPTY core: adjacent external pairs can always
+// secede profitably from any symmetric allocation, so no cross-monotonic
+// cost-sharing method — and hence no Moulin–Shenker budget-balanced group
+// strategyproof mechanism — exists for optimal costs when α > 1, d > 1.
+package main
+
+import (
+	"fmt"
+
+	"wmcs/internal/check"
+	"wmcs/internal/instances"
+)
+
+func main() {
+	for _, m := range []float64{6, 8, 10} {
+		p := instances.Pentagon(m, 2)
+		cost := func(R []int) float64 { return p.Cost(R) }
+		grand := cost(p.Externals)
+		pair := cost(p.Externals[:2])
+		single := cost(p.Externals[:1])
+		pairSlack, singleSlack := check.Lemma33Inequalities(p.Externals, cost)
+		empty, _ := check.CoreNonEmpty(p.Externals, cost)
+
+		fmt.Printf("radius m=%g (%d stations):\n", m, p.Net.N())
+		fmt.Printf("  C*(all five externals) = %.3f  → fair split %.3f each\n", grand, grand/5)
+		fmt.Printf("  C*(adjacent pair)      = %.3f  (pair slack %.3f)\n", pair, pairSlack)
+		fmt.Printf("  C*(single external)    = %.3f  (single slack %.3f)\n", single, singleSlack)
+		if pairSlack < 0 {
+			fmt.Printf("  → an adjacent pair pays %.3f under the fair split but could\n", 2*grand/5)
+			fmt.Printf("    secede for %.3f: the symmetric allocation is not in the core.\n", pair)
+		}
+		fmt.Printf("  LP verdict: core empty = %v\n\n", !empty)
+	}
+	fmt.Println("This is why §3.2 settles for approximate budget balance: Theorem 3.6's")
+	fmt.Println("moat mechanisms are 2(3^d−1)-BB against C* instead of exactly BB.")
+}

@@ -1,0 +1,175 @@
+package wmcs
+
+// Integration battery: every public mechanism is run over a grid of
+// degenerate and adversarial instance families — duplicate stations,
+// collinear clouds, boundary α, two-station networks, zero and huge
+// utilities — asserting the axioms that theory guarantees for each
+// mechanism class and, above all, that nothing panics.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type familyFn func(rng *rand.Rand) *Network
+
+func euclidFamily(n, d int, alpha float64) familyFn {
+	return func(rng *rand.Rand) *Network {
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.Float64() * 10
+			}
+			pts[i] = p
+		}
+		return NewEuclideanNetwork(pts, alpha, 0)
+	}
+}
+
+// duplicateFamily places station pairs at identical coordinates:
+// zero-cost edges stress every tie-break in the tree builders.
+func duplicateFamily(n int) familyFn {
+	return func(rng *rand.Rand) *Network {
+		pts := make([][]float64, 0, n)
+		for len(pts) < n {
+			p := []float64{rng.Float64() * 10, rng.Float64() * 10}
+			pts = append(pts, p)
+			if len(pts) < n {
+				pts = append(pts, []float64{p[0], p[1]})
+			}
+		}
+		return NewEuclideanNetwork(pts, 2, 0)
+	}
+}
+
+// collinearFamily embeds a line in the plane (d = 2 but degenerate
+// geometry).
+func collinearFamily(n int) familyFn {
+	return func(rng *rand.Rand) *Network {
+		pts := make([][]float64, n)
+		for i := range pts {
+			x := rng.Float64() * 10
+			pts[i] = []float64{x, 2 * x}
+		}
+		return NewEuclideanNetwork(pts, 2, 0)
+	}
+}
+
+func TestIntegrationMechanismGrid(t *testing.T) {
+	families := map[string]familyFn{
+		"tiny-n2":       euclidFamily(2, 2, 2),
+		"small-d2":      euclidFamily(7, 2, 2),
+		"small-d3":      euclidFamily(7, 3, 3),
+		"alpha-huge":    euclidFamily(6, 2, 6),
+		"duplicates":    duplicateFamily(6),
+		"collinear-d2":  collinearFamily(7),
+		"alpha1-planar": euclidFamily(7, 2, 1),
+		"line-d1":       euclidFamily(7, 1, 2),
+	}
+	profiles := map[string]func(rng *rand.Rand, n int) Profile{
+		"zero": func(_ *rand.Rand, n int) Profile { return make(Profile, n) },
+		"rich": func(_ *rand.Rand, n int) Profile {
+			u := make(Profile, n)
+			for i := range u {
+				u[i] = 1e9
+			}
+			return u
+		},
+		"random": func(rng *rand.Rand, n int) Profile {
+			u := make(Profile, n)
+			for i := range u {
+				u[i] = rng.Float64() * 40
+			}
+			return u
+		},
+		"mixed": func(rng *rand.Rand, n int) Profile {
+			u := make(Profile, n)
+			for i := range u {
+				if i%2 == 0 {
+					u[i] = rng.Float64() * 1e-6
+				} else {
+					u[i] = 1e6
+				}
+			}
+			return u
+		},
+	}
+	for fname, fam := range families {
+		for _, mechName := range MechanismNames() {
+			rng := rand.New(rand.NewSource(int64(len(fname) + len(mechName))))
+			nw := fam(rng)
+			// Skip mechanisms whose preconditions the family violates.
+			m, err := ByName(mechName, nw)
+			if err != nil {
+				continue
+			}
+			for pname, pf := range profiles {
+				u := pf(rng, nw.N())
+				o := m.Run(u) // must not panic
+				label := fname + "/" + mechName + "/" + pname
+				// Universal axioms for every mechanism: NPT and VP.
+				for i, c := range o.Shares {
+					if c < -1e-7 {
+						t.Fatalf("%s: negative share %g for %d", label, c, i)
+					}
+					if o.IsReceiver(i) && c > u[i]+1e-7 {
+						t.Fatalf("%s: share %g exceeds utility %g", label, c, u[i])
+					}
+				}
+				// BB family also recovers cost; MC family never surpluses.
+				isMC := mechName == "universal-mc" || mechName == "alpha1-mc" || mechName == "line-mc"
+				if !isMC && len(o.Receivers) > 0 && o.TotalShares() < o.Cost-1e-7 {
+					t.Fatalf("%s: deficit %g < %g", label, o.TotalShares(), o.Cost)
+				}
+				if isMC && o.TotalShares() > o.Cost+1e-7 {
+					t.Fatalf("%s: surplus %g > %g", label, o.TotalShares(), o.Cost)
+				}
+				// Receivers must be agents; shares only on receivers.
+				agents := map[int]bool{}
+				for _, a := range m.Agents() {
+					agents[a] = true
+				}
+				for _, r := range o.Receivers {
+					if !agents[r] {
+						t.Fatalf("%s: non-agent receiver %d", label, r)
+					}
+				}
+				// Rich profile must serve everyone (consumer sovereignty).
+				if pname == "rich" && len(o.Receivers) != len(m.Agents()) {
+					t.Fatalf("%s: rich profile served %d/%d", label, len(o.Receivers), len(m.Agents()))
+				}
+				// Zero profile can never charge anyone.
+				if pname == "zero" && o.TotalShares() > 1e-7 {
+					t.Fatalf("%s: zero-utility agents charged %g", label, o.TotalShares())
+				}
+			}
+		}
+	}
+}
+
+// Costs of all mechanisms' outcomes are realizable: re-verify against an
+// exact optimum lower bound on a shared small instance.
+func TestIntegrationCostsAboveOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nw := euclidFamily(7, 2, 2)(rng)
+	u := make(Profile, nw.N())
+	for i := range u {
+		u[i] = 1e9
+	}
+	for _, name := range []string{"universal-shapley", "wireless-bb", "jv-moat"} {
+		m, err := ByName(name, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := m.Run(u)
+		opt := OptimalCost(nw, o.Receivers)
+		if o.Cost < opt-1e-9 {
+			t.Fatalf("%s: claimed cost %g below the optimum %g", name, o.Cost, opt)
+		}
+		if math.IsNaN(o.Cost) || math.IsInf(o.Cost, 0) {
+			t.Fatalf("%s: cost is %g", name, o.Cost)
+		}
+	}
+}

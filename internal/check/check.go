@@ -1,0 +1,79 @@
+// Package check provides cross-cutting property verifiers used by the
+// simulated evaluation: core non-emptiness of cost-sharing games via
+// linear programming (Bondareva–Shapley style feasibility, for Lemma 3.3)
+// and the Lemma 3.3 symmetry inequalities.
+package check
+
+import (
+	"fmt"
+
+	"wmcs/internal/lp"
+	"wmcs/internal/sharing"
+)
+
+// CoreNonEmpty decides whether the core of the game (agents, C) is
+// non-empty by LP feasibility:
+//
+//	f ≥ 0, Σ_{i∈N} f_i = C(N), Σ_{i∈R} f_i ≤ C(R) ∀ ∅ ≠ R ⊂ N.
+//
+// It returns a witness allocation when the core is non-empty. Limited to
+// ≤ 16 agents (2^k constraints).
+func CoreNonEmpty(agents []int, C sharing.CostFunc) (bool, []float64) {
+	k := len(agents)
+	if k > 16 {
+		panic(fmt.Sprintf("check: CoreNonEmpty limited to 16 agents, got %d", k))
+	}
+	if k == 0 {
+		return true, nil
+	}
+	p := lp.NewProblem(k)
+	grand := C(agents)
+	ones := make([]float64, k)
+	for i := range ones {
+		ones[i] = 1
+	}
+	p.AddConstraint(ones, lp.EQ, grand)
+	subset := make([]int, 0, k)
+	for mask := 1; mask < (1<<k)-1; mask++ {
+		subset = subset[:0]
+		row := make([]float64, k)
+		for b := 0; b < k; b++ {
+			if mask&(1<<b) != 0 {
+				subset = append(subset, agents[b])
+				row[b] = 1
+			}
+		}
+		p.AddConstraint(row, lp.LE, C(subset))
+	}
+	res := p.Solve()
+	if res.Status != lp.Optimal {
+		return false, nil
+	}
+	return true, res.X
+}
+
+// Lemma33Inequalities evaluates the quantities driving the Lemma 3.3
+// contradiction on a 5-agent symmetric instance: under any core
+// allocation, symmetry forces f(x_i) = C(R)/5, but adjacent pairs can
+// secede whenever C({x_i, x_{i+1}}) < 2·C(R)/5. It reports the worst
+// (smallest) adjacent-pair slack C({x_i,x_{i+1}}) − 2C(R)/5; the core is
+// provably empty when the returned slack is negative and the singleton
+// costs exceed C(R)/5.
+func Lemma33Inequalities(agents []int, C sharing.CostFunc) (pairSlack, singletonSlack float64) {
+	if len(agents) != 5 {
+		panic("check: Lemma33Inequalities requires exactly 5 agents")
+	}
+	grand := C(agents)
+	pairSlack = 1e308
+	singletonSlack = 1e308
+	for i := 0; i < 5; i++ {
+		pair := []int{agents[i], agents[(i+1)%5]}
+		if s := C(pair) - 2*grand/5; s < pairSlack {
+			pairSlack = s
+		}
+		if s := C([]int{agents[i]}) - grand/5; s < singletonSlack {
+			singletonSlack = s
+		}
+	}
+	return pairSlack, singletonSlack
+}

@@ -1,0 +1,118 @@
+package check
+
+import (
+	"math"
+	"testing"
+)
+
+func airport(c []float64) func(R []int) float64 {
+	return func(R []int) float64 {
+		var m float64
+		for _, i := range R {
+			if c[i] > m {
+				m = c[i]
+			}
+		}
+		return m
+	}
+}
+
+func TestCoreNonEmptyAirport(t *testing.T) {
+	// Airport games always have a non-empty core (put everything on the
+	// largest player).
+	agents := []int{0, 1, 2}
+	ok, f := CoreNonEmpty(agents, airport([]float64{1, 2, 3}))
+	if !ok {
+		t.Fatal("airport core should be non-empty")
+	}
+	var tot float64
+	for _, v := range f {
+		tot += v
+	}
+	if math.Abs(tot-3) > 1e-6 {
+		t.Errorf("allocation sums to %g want 3", tot)
+	}
+	// Witness respects all coalition constraints.
+	if f[0] > 1+1e-6 || f[0]+f[1] > 2+1e-6 {
+		t.Errorf("allocation %v violates coalition bounds", f)
+	}
+}
+
+func TestCoreEmptyGame(t *testing.T) {
+	// C(pair) = 1 but C(grand) = 3: pairs would need to cover 3 with
+	// pairwise sums ≤ 1 — impossible.
+	cost := func(R []int) float64 {
+		switch len(R) {
+		case 0:
+			return 0
+		case 1:
+			return 1
+		case 2:
+			return 1
+		default:
+			return 3
+		}
+	}
+	ok, _ := CoreNonEmpty([]int{0, 1, 2}, cost)
+	if ok {
+		t.Fatal("core should be empty")
+	}
+}
+
+func TestCoreTrivialCases(t *testing.T) {
+	if ok, _ := CoreNonEmpty(nil, airport(nil)); !ok {
+		t.Error("empty game has (vacuously) a core")
+	}
+	ok, f := CoreNonEmpty([]int{0}, airport([]float64{2}))
+	if !ok || math.Abs(f[0]-2) > 1e-6 {
+		t.Errorf("singleton core: ok=%v f=%v", ok, f)
+	}
+}
+
+func TestCoreGuard(t *testing.T) {
+	agents := make([]int, 17)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CoreNonEmpty(agents, airport(make([]float64, 17)))
+}
+
+func TestLemma33Inequalities(t *testing.T) {
+	// Symmetric 5-agent game engineered like the pentagon: grand cost 10,
+	// adjacent pairs cost 3.5 (< 2·10/5 = 4), singletons cost 2.5 (> 2).
+	cost := func(R []int) float64 {
+		switch len(R) {
+		case 0:
+			return 0
+		case 1:
+			return 2.5
+		case 2:
+			return 3.5
+		default:
+			return 10
+		}
+	}
+	agents := []int{0, 1, 2, 3, 4}
+	pairSlack, singleSlack := Lemma33Inequalities(agents, cost)
+	if pairSlack >= 0 {
+		t.Errorf("pair slack = %g, want negative (secession profitable)", pairSlack)
+	}
+	if singleSlack <= 0 {
+		t.Errorf("singleton slack = %g, want positive", singleSlack)
+	}
+	// And indeed the LP agrees the core is empty.
+	if ok, _ := CoreNonEmpty(agents, cost); ok {
+		t.Error("core should be empty for this game")
+	}
+}
+
+func TestLemma33RequiresFiveAgents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Lemma33Inequalities([]int{0, 1}, airport([]float64{1, 1}))
+}

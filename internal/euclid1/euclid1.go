@@ -1,0 +1,457 @@
+// Package euclid1 implements the §3.1 mechanisms for Euclidean wireless
+// networks in the two polynomial cases of Lemma 3.1:
+//
+//   - α = 1 (any dimension): the optimal multicast cost is
+//     C*(R) = max_{x∈R} c(s, x) — exactly the classical airport game, so
+//     the Shapley value has a closed sequential-increment form and the
+//     largest efficient set is a distance prefix.
+//
+//   - d = 1 (any α ≥ 1): stations on a line. C*(R) depends only on the
+//     extreme ranks of R ∪ {s}; we precompute every interval's optimal
+//     cost with one interval-state Dijkstra sweep and evaluate the
+//     Shapley value by counting subsets with given extremes in O(k³)
+//     instead of 2^k.
+//
+// Both cases yield a 1-BB group-strategyproof Shapley mechanism (via
+// Moulin–Shenker) and an efficient strategyproof MC mechanism, matching
+// Theorem 3.2.
+package euclid1
+
+import (
+	"math"
+	"sort"
+
+	"wmcs/internal/graph"
+	"wmcs/internal/mech"
+	"wmcs/internal/sharing"
+	"wmcs/internal/wireless"
+)
+
+// ---------------------------------------------------------------------------
+// α = 1: the airport game.
+
+// AirportGame is the α = 1 multicast cost-sharing game: every agent's
+// "runway length" is its direct cost from the source.
+type AirportGame struct {
+	Net *wireless.Network
+}
+
+// NewAirportGame validates α = 1 and wraps the network.
+func NewAirportGame(nw *wireless.Network) *AirportGame {
+	if !nw.IsEuclidean() || nw.PowerModel().Alpha != 1 {
+		panic("euclid1: AirportGame requires a Euclidean network with alpha = 1")
+	}
+	return &AirportGame{Net: nw}
+}
+
+// Cost returns C*(R) = max_{x∈R} c(s, x).
+func (g *AirportGame) Cost(R []int) float64 {
+	var m float64
+	for _, r := range R {
+		if c := g.Net.C(g.Net.Source(), r); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Shapley returns the airport-game Shapley shares in closed form: sort
+// receivers by distance; the i-th cost increment is split equally among
+// the receivers at least as far.
+func (g *AirportGame) Shapley(R []int) map[int]float64 {
+	k := len(R)
+	shares := make(map[int]float64, k)
+	if k == 0 {
+		return shares
+	}
+	sorted := append([]int(nil), R...)
+	s := g.Net.Source()
+	sort.Slice(sorted, func(a, b int) bool {
+		ca, cb := g.Net.C(s, sorted[a]), g.Net.C(s, sorted[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return sorted[a] < sorted[b]
+	})
+	acc, prev := 0.0, 0.0
+	for i, r := range sorted {
+		c := g.Net.C(s, r)
+		acc += (c - prev) / float64(k-i)
+		prev = c
+		shares[r] = acc
+	}
+	return shares
+}
+
+// ShapleyMechanism returns the 1-BB group-strategyproof mechanism for
+// α = 1 (Theorem 3.2).
+func (g *AirportGame) ShapleyMechanism() mech.Mechanism {
+	return &sharing.MechanismFromMethod{
+		MechName: "alpha1-shapley",
+		AgentSet: g.Net.AllReceivers(),
+		Xi:       sharing.MethodFunc(func(R []int) map[int]float64 { return g.Shapley(R) }),
+		Cost:     g.Cost,
+	}
+}
+
+// MCMechanism returns the efficient strategyproof MC mechanism for α = 1:
+// the largest efficient set is one of the ≤ n distance prefixes
+// (Theorem 3.2's argument).
+func (g *AirportGame) MCMechanism() mech.Mechanism { return &airportMC{g: g} }
+
+type airportMC struct{ g *AirportGame }
+
+func (m *airportMC) Name() string  { return "alpha1-mc" }
+func (m *airportMC) Agents() []int { return m.g.Net.AllReceivers() }
+
+// netWorthPrefix returns the maximum net worth and the largest efficient
+// set, enumerating distance prefixes.
+func (m *airportMC) bestPrefix(u mech.Profile) ([]int, float64) {
+	s := m.g.Net.Source()
+	agents := m.g.Net.AllReceivers()
+	sort.Slice(agents, func(a, b int) bool {
+		ca, cb := m.g.Net.C(s, agents[a]), m.g.Net.C(s, agents[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return agents[a] < agents[b]
+	})
+	bestNW, bestLen := 0.0, 0
+	acc := 0.0
+	for i, r := range agents {
+		acc += u[r]
+		nw := acc - m.g.Net.C(s, r)
+		// Prefix must extend through equal-distance ties for "largest".
+		if i+1 < len(agents) && m.g.Net.C(s, agents[i+1]) == m.g.Net.C(s, r) {
+			continue
+		}
+		if nw >= bestNW {
+			bestNW, bestLen = nw, i+1
+		}
+	}
+	R := append([]int(nil), agents[:bestLen]...)
+	sort.Ints(R)
+	return R, bestNW
+}
+
+func (m *airportMC) Run(u mech.Profile) mech.Outcome {
+	R, nw := m.bestPrefix(u)
+	shares := make(map[int]float64, len(R))
+	for _, i := range R {
+		v := u.Clone()
+		v[i] = 0
+		_, nwWithout := m.bestPrefix(v)
+		ci := u[i] - (nw - nwWithout)
+		if ci < 0 && ci > -1e-9 {
+			ci = 0
+		}
+		shares[i] = ci
+	}
+	return mech.Outcome{Receivers: R, Shares: shares, Cost: m.g.Cost(R)}
+}
+
+// ---------------------------------------------------------------------------
+// d = 1: the interval game.
+
+// LineGame is the d = 1 multicast cost-sharing game. It precomputes the
+// optimal cost of every covered interval with a single interval-state
+// Dijkstra (see wireless.LineOptimal for the argument), so C*(R) queries
+// and the combinatorial Shapley value are cheap.
+type LineGame struct {
+	Net   *wireless.Network
+	order []int // station ids sorted by coordinate
+	rank  []int
+	k     int       // source rank
+	best  []float64 // best[f*n+l] = min cost covering ranks [f..l] ∪ {k}
+	fact  []float64 // factorials
+}
+
+// NewLineGame validates d = 1 and precomputes the interval cost table.
+func NewLineGame(nw *wireless.Network) *LineGame {
+	if nw.Dim() != 1 {
+		panic("euclid1: LineGame requires a 1-dimensional Euclidean network")
+	}
+	n := nw.N()
+	g := &LineGame{Net: nw, order: nw.SortByCoordinate(), rank: make([]int, n)}
+	for r, v := range g.order {
+		g.rank[v] = r
+	}
+	g.k = g.rank[nw.Source()]
+	g.best = intervalCosts(nw, g.order, g.k)
+	g.fact = make([]float64, n+2)
+	g.fact[0] = 1
+	for i := 1; i < len(g.fact); i++ {
+		g.fact[i] = g.fact[i-1] * float64(i)
+	}
+	return g
+}
+
+// intervalCosts runs the interval-state Dijkstra to exhaustion and folds
+// the state table into best[f][l] = min cost of any state covering [f..l].
+func intervalCosts(nw *wireless.Network, order []int, k int) []float64 {
+	n := nw.N()
+	coord := make([]float64, n)
+	for r, v := range order {
+		coord[r] = nw.Points()[v][0]
+	}
+	pc := nw.PowerModel()
+	dist := make([]float64, n*n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	start := k*n + k
+	dist[start] = 0
+	h := graph.NewIndexHeap(n * n)
+	h.Push(start, 0)
+	visited := make([]bool, n*n)
+	for h.Len() > 0 {
+		s, d := h.Pop()
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		i, j := s/n, s%n
+		for t := i; t <= j; t++ {
+			st := order[t]
+			for u := 0; u < n; u++ {
+				if u >= i && u <= j {
+					continue
+				}
+				p := nw.C(st, order[u])
+				rg := pc.Range(p) + 1e-9
+				lo := sort.SearchFloat64s(coord, coord[t]-rg)
+				hi := sort.SearchFloat64s(coord, coord[t]+rg) - 1
+				ni, nj := i, j
+				if lo < ni {
+					ni = lo
+				}
+				if hi > nj {
+					nj = hi
+				}
+				ns := ni*n + nj
+				if ns == s {
+					continue
+				}
+				if nd := d + p; nd < dist[ns] {
+					dist[ns] = nd
+					h.PushOrDecrease(ns, nd)
+				}
+			}
+		}
+	}
+	// best[f][l] = min over states {i ≤ f, j ≥ l} of dist: a quadrant
+	// minimum, computed in one sweep (f ascending, l descending) because
+	// both predecessors best[f−1][l] and best[f][l+1] are already final.
+	best := make([]float64, n*n)
+	copy(best, dist)
+	for f := 0; f < n; f++ {
+		for l := n - 1; l >= 0; l-- {
+			b := best[f*n+l]
+			if f > 0 {
+				if v := best[(f-1)*n+l]; v < b {
+					b = v
+				}
+			}
+			if l+1 < n {
+				if v := best[f*n+l+1]; v < b {
+					b = v
+				}
+			}
+			best[f*n+l] = b
+		}
+	}
+	return best
+}
+
+// CostExtremes returns C* of serving the rank interval [f..l] ∪ {source}.
+func (g *LineGame) CostExtremes(f, l int) float64 {
+	if f > g.k {
+		f = g.k
+	}
+	if l < g.k {
+		l = g.k
+	}
+	return g.best[f*g.Net.N()+l]
+}
+
+// Cost returns C*(R), which depends only on the extreme ranks of R ∪ {s}.
+func (g *LineGame) Cost(R []int) float64 {
+	if len(R) == 0 {
+		return 0
+	}
+	f, l := g.k, g.k
+	for _, r := range R {
+		if g.rank[r] < f {
+			f = g.rank[r]
+		}
+		if g.rank[r] > l {
+			l = g.rank[r]
+		}
+	}
+	return g.CostExtremes(f, l)
+}
+
+// Shapley evaluates the exact Shapley value of the interval game by
+// counting: subsets of R\{i} are grouped by their extreme ranks, so the
+// exponential Eq. (4) collapses to O(k³) binomial-weighted terms.
+func (g *LineGame) Shapley(R []int) map[int]float64 {
+	k := len(R)
+	shares := make(map[int]float64, k)
+	if k == 0 {
+		return shares
+	}
+	ranks := make([]int, k)
+	for i, r := range R {
+		ranks[i] = g.rank[r]
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ranks[idx[a]] < ranks[idx[b]] })
+	sortedRanks := make([]int, k)
+	sortedIDs := make([]int, k)
+	for p, i := range idx {
+		sortedRanks[p] = ranks[i]
+		sortedIDs[p] = R[i]
+	}
+	kf := g.fact[k]
+	// weight(q) = q!(k−1−q)!/k!
+	weight := func(q int) float64 { return g.fact[q] * g.fact[k-1-q] / kf }
+	choose := func(m, r int) float64 {
+		if r < 0 || r > m {
+			return 0
+		}
+		return g.fact[m] / (g.fact[r] * g.fact[m-r])
+	}
+	for t, agent := range sortedIDs {
+		ri := sortedRanks[t]
+		var phi float64
+		// Q = ∅ term.
+		phi += weight(0) * g.CostExtremes(ri, ri)
+		// Singletons and general subsets grouped by extreme positions
+		// (a, b) over the other members (indices in sortedRanks ≠ t).
+		for a := 0; a < k; a++ {
+			if a == t {
+				continue
+			}
+			ra := sortedRanks[a]
+			// Singleton Q = {a}.
+			cq := g.CostExtremes(ra, ra)
+			cqi := g.CostExtremes(minInt(ra, ri), maxInt(ra, ri))
+			phi += weight(1) * (cqi - cq)
+			for b := a + 1; b < k; b++ {
+				if b == t {
+					continue
+				}
+				rb := sortedRanks[b]
+				// Members strictly between positions a and b, excluding t.
+				inner := b - a - 1
+				if a < t && t < b {
+					inner--
+				}
+				cq = g.CostExtremes(ra, rb)
+				cqi = g.CostExtremes(minInt(ra, ri), maxInt(rb, ri))
+				diff := cqi - cq
+				if diff == 0 {
+					continue
+				}
+				for q := 2; q <= inner+2; q++ {
+					phi += weight(q) * choose(inner, q-2) * diff
+				}
+			}
+		}
+		shares[agent] = phi
+	}
+	return shares
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ShapleyMechanism returns the d = 1 Shapley mechanism of Theorem 3.2
+// (Moulin–Shenker over the exact interval-game Shapley value).
+func (g *LineGame) ShapleyMechanism() mech.Mechanism {
+	return &sharing.MechanismFromMethod{
+		MechName: "line-shapley",
+		AgentSet: g.Net.AllReceivers(),
+		Xi:       sharing.MethodFunc(func(R []int) map[int]float64 { return g.Shapley(R) }),
+		Cost:     g.Cost,
+	}
+}
+
+// MCMechanism returns the efficient strategyproof MC mechanism for d = 1:
+// the largest efficient set is determined by its first and last station
+// (Theorem 3.2), so ≤ n² candidates are enumerated.
+func (g *LineGame) MCMechanism() mech.Mechanism { return &lineMC{g: g} }
+
+type lineMC struct{ g *LineGame }
+
+func (m *lineMC) Name() string  { return "line-mc" }
+func (m *lineMC) Agents() []int { return m.g.Net.AllReceivers() }
+
+func (m *lineMC) bestInterval(u mech.Profile) ([]int, float64) {
+	g := m.g
+	n := g.Net.N()
+	// utilByRank[r] = utility of the station at rank r (0 for the source).
+	utilByRank := make([]float64, n)
+	for r, v := range g.order {
+		if v != g.Net.Source() {
+			utilByRank[r] = u[v]
+		}
+	}
+	pre := make([]float64, n+1)
+	for r := 0; r < n; r++ {
+		pre[r+1] = pre[r] + utilByRank[r]
+	}
+	bestNW := 0.0
+	bestF, bestL := -1, -1
+	bestWidth := -1
+	for f := 0; f < n; f++ {
+		for l := f; l < n; l++ {
+			nw := pre[l+1] - pre[f] - g.CostExtremes(f, l)
+			width := l - f
+			if nw > bestNW+1e-12 || (nw > bestNW-1e-12 && width > bestWidth) {
+				bestNW, bestF, bestL, bestWidth = nw, f, l, width
+			}
+		}
+	}
+	if bestF < 0 {
+		return nil, 0
+	}
+	var R []int
+	for r := bestF; r <= bestL; r++ {
+		if v := g.order[r]; v != g.Net.Source() {
+			R = append(R, v)
+		}
+	}
+	sort.Ints(R)
+	return R, bestNW
+}
+
+func (m *lineMC) Run(u mech.Profile) mech.Outcome {
+	R, nw := m.bestInterval(u)
+	shares := make(map[int]float64, len(R))
+	for _, i := range R {
+		v := u.Clone()
+		v[i] = 0
+		_, nwWithout := m.bestInterval(v)
+		ci := u[i] - (nw - nwWithout)
+		if ci < 0 && ci > -1e-9 {
+			ci = 0
+		}
+		shares[i] = ci
+	}
+	return mech.Outcome{Receivers: R, Shares: shares, Cost: m.g.Cost(R)}
+}

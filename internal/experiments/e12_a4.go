@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mech"
+	"wmcs/internal/sharing"
+	"wmcs/internal/stats"
+	"wmcs/internal/universal"
+	"wmcs/internal/wireless"
+)
+
+// E12MulticastHeuristics compares the multicast tree builders the paper's
+// ecosystem relies on — KMB-Steiner (§3.2's heuristic), pruned MST,
+// pruned BIP [50] and pruned SPT [43] — against the exact optimum. The
+// "who wins where" shape: Steiner and BIP lead at α ≥ 2 where relaying
+// pays, SPT leads at α = 1 where direct paths are optimal.
+func E12MulticastHeuristics(cfg Config) *stats.Table {
+	t := stats.NewTable("E12 — multicast heuristics vs exact optimum (ratio to C*)",
+		"α", "k", "trials", "steiner-kmb", "mst-pruned", "bip-pruned", "spt-pruned", "winner")
+	rng := rand.New(rand.NewSource(112))
+	trials := cfg.trials(20, 5)
+	for _, alpha := range []float64{1, 2, 4} {
+		for _, k := range []int{3, 6} {
+			sums := map[string]float64{}
+			counts := 0
+			for trial := 0; trial < trials; trial++ {
+				nw := instances.RandomEuclidean(rng, 10, 2, alpha, 10)
+				perm := rng.Perm(nw.N() - 1)
+				R := make([]int, 0, k)
+				for _, p := range perm[:k] {
+					R = append(R, p+1)
+				}
+				sort.Ints(R)
+				opt, _ := wireless.ExactMEMT(nw, R)
+				if opt <= 1e-12 {
+					continue
+				}
+				counts++
+				for _, h := range wireless.MulticastHeuristics {
+					_, a := h.Build(nw, R)
+					sums[h.Name] += a.Total() / opt
+				}
+			}
+			if counts == 0 {
+				continue
+			}
+			row := []string{stats.F(alpha), fmt.Sprint(k), fmt.Sprint(counts)}
+			bestName, bestVal := "", 1e308
+			for _, h := range wireless.MulticastHeuristics {
+				mean := sums[h.Name] / float64(counts)
+				row = append(row, stats.F(mean))
+				if mean < bestVal {
+					bestName, bestVal = h.Name, mean
+				}
+			}
+			row = append(row, bestName)
+			t.Add(row...)
+		}
+	}
+	t.Note("shape check: bip and spt tie at ratio 1 for α=1 (direct transmission is optimal, Lemma 3.1)")
+	t.Note("at α ≥ 2 relaying pays and the incremental/Steiner heuristics pull ahead of spt")
+	return t
+}
+
+// A04EfficiencyLoss is the Moulin–Shenker [38] ablation: among
+// budget-balanced group-strategyproof mechanisms M(ξ), the Shapley value
+// minimizes worst-case efficiency loss. We compare M(Shapley) against
+// M(Incremental) under adversarial priority orders on universal-tree
+// games and report realized welfare relative to the efficient (MC)
+// optimum.
+func A04EfficiencyLoss(cfg Config) *stats.Table {
+	t := stats.NewTable("A4 — ablation: efficiency loss of BB mechanisms (Shapley vs incremental [38])",
+		"n", "profiles", "mean NW(Shapley)/OPT", "mean NW(incremental)/OPT", "Shapley wins (%)")
+	rng := rand.New(rand.NewSource(113))
+	profiles := cfg.trials(30, 6)
+	for _, n := range []int{8, 12} {
+		nw := instances.RandomEuclidean(rng, n, 2, 2, 10)
+		ut := universal.SPT(nw)
+		agents := nw.AllReceivers()
+		cost := ut.CostFunc()
+		shap := &sharing.MechanismFromMethod{
+			MechName: "shapley", AgentSet: agents, Xi: ut.ShapleyMethod(), Cost: cost,
+		}
+		// Adversarial order: farthest stations (largest singleton cost)
+		// charged their marginal first.
+		order := append([]int(nil), agents...)
+		sort.Slice(order, func(a, b int) bool {
+			return cost([]int{order[a]}) > cost([]int{order[b]})
+		})
+		incr := &sharing.MechanismFromMethod{
+			MechName: "incremental", AgentSet: agents,
+			Xi:   sharing.NewIncremental(order, cost),
+			Cost: cost,
+		}
+		var rs, ri []float64
+		wins := 0
+		for p := 0; p < profiles; p++ {
+			u := mech.RandomProfile(rng, n, 20)
+			opt := mech.BruteForceNetWorth(agents, u, cost)
+			if opt <= 1e-9 {
+				continue
+			}
+			ns := shap.Run(u).NetWorth(u)
+			ni := incr.Run(u).NetWorth(u)
+			rs = append(rs, ns/opt)
+			ri = append(ri, ni/opt)
+			if ns >= ni-1e-9 {
+				wins++
+			}
+		}
+		pct := 0.0
+		if len(rs) > 0 {
+			pct = 100 * float64(wins) / float64(len(rs))
+		}
+		t.Add(fmt.Sprint(n), fmt.Sprint(len(rs)),
+			stats.F(stats.Summarize(rs).Mean), stats.F(stats.Summarize(ri).Mean), stats.F(pct))
+	}
+	t.Note("[38]: the Shapley value minimizes worst-case efficiency loss among cross-monotonic BB methods")
+	return t
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run in quick mode and produce a non-empty table.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(cfg)
+			if tab == nil || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatalf("%s rendered nothing", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAllAndLookup(t *testing.T) {
+	var buf bytes.Buffer
+	RunAll(&buf, Config{Quick: true})
+	out := buf.String()
+	for _, id := range []string{"E1", "E4", "E9", "A1"} {
+		if Lookup(id) == nil {
+			t.Errorf("Lookup(%s) = nil", id)
+		}
+	}
+	if Lookup("E99") != nil {
+		t.Error("Lookup of unknown id should be nil")
+	}
+	if !strings.Contains(out, "Fig. 1") || !strings.Contains(out, "pentagon") {
+		t.Error("RunAll output missing expected tables")
+	}
+}
+
+// The E1 violation counts must be zero: Lemma 2.1 is a theorem.
+func TestE01NoViolations(t *testing.T) {
+	tab := E01UniversalSubmodular(Config{Quick: true})
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "0" {
+			t.Fatalf("submodularity violation reported: %v", row)
+		}
+	}
+}
+
+// The E4 table must report the collusion success at every ε.
+func TestE04AlwaysBreaksGSP(t *testing.T) {
+	tab := E04Fig1Collusion(Config{Quick: true})
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" || row[len(row)-2] != "true" {
+			t.Fatalf("Fig. 1 replay did not break GSP: %v", row)
+		}
+	}
+}
+
+// The E9 pentagon core must be empty at every listed radius.
+func TestE09CoreEmpty(t *testing.T) {
+	tab := E09PentagonCore(Config{Quick: true})
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("pentagon core not empty: %v", row)
+		}
+	}
+}
+
+// E10's measured maxima must respect the analytic bound at d ≥ 2.
+func TestE10RespectsBound(t *testing.T) {
+	tab := E10MSTRatio(Config{Quick: true})
+	for _, row := range tab.Rows {
+		if row[0] == "1" {
+			continue // the d=1 row reports measured values only
+		}
+		maxCol, boundCol := row[5], row[8]
+		var maxV, boundV float64
+		if _, err := sscan(maxCol, &maxV); err != nil {
+			t.Fatalf("bad max %q", maxCol)
+		}
+		if _, err := sscan(boundCol, &boundV); err != nil {
+			t.Fatalf("bad bound %q", boundCol)
+		}
+		if maxV > boundV+1e-9 {
+			t.Fatalf("MST ratio %g exceeds bound %g: %v", maxV, boundV, row)
+		}
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,203 @@
+// Package geom provides d-dimensional Euclidean geometry primitives for
+// wireless network models: points, distances, and the power cost function
+// c(x, y) = kappa * dist(x, y)^alpha used throughout the paper
+// (Bilò et al., "Sharing the cost of multicast transmissions in wireless
+// networks", TCS 369 (2006)).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location in d-dimensional Euclidean space. The dimension is
+// the slice length; all points in one instance must share a dimension.
+type Point []float64
+
+// Dim returns the dimension of the point.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have the same coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point {
+	r := p.Clone()
+	for i := range q {
+		r[i] += q[i]
+	}
+	return r
+}
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point {
+	r := p.Clone()
+	for i := range q {
+		r[i] -= q[i]
+	}
+	return r
+}
+
+// Scale returns s·p.
+func (p Point) Scale(s float64) Point {
+	r := p.Clone()
+	for i := range r {
+		r[i] *= s
+	}
+	return r
+}
+
+// Norm returns the Euclidean norm of p.
+func (p Point) Norm() float64 {
+	var s float64
+	for _, v := range p {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the point as "(x1, x2, …)".
+func (p Point) String() string {
+	s := "("
+	for i, v := range p {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.4g", v)
+	}
+	return s + ")"
+}
+
+// Dist returns the Euclidean distance between p and q. It panics if the
+// dimensions differ, since mixing dimensions is always a programming error.
+func Dist(p, q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// PowerCost is the standard power-attenuation cost model of the paper:
+// the power needed to transmit from x to y is kappa · dist(x, y)^alpha,
+// where alpha ≥ 1 is the distance-power gradient and kappa > 0 is the
+// receiver detection threshold (usually normalized to 1).
+type PowerCost struct {
+	Alpha float64 // distance-power gradient, typically in [1, 6]
+	Kappa float64 // detection threshold, typically 1
+}
+
+// NewPowerCost returns a PowerCost with the given gradient and threshold 1.
+func NewPowerCost(alpha float64) PowerCost { return PowerCost{Alpha: alpha, Kappa: 1} }
+
+// Cost returns kappa · dist(p, q)^alpha.
+func (pc PowerCost) Cost(p, q Point) float64 {
+	return pc.CostDist(Dist(p, q))
+}
+
+// CostDist returns kappa · d^alpha for a precomputed distance d.
+func (pc PowerCost) CostDist(d float64) float64 {
+	if pc.Alpha == 1 {
+		return pc.Kappa * d
+	}
+	return pc.Kappa * math.Pow(d, pc.Alpha)
+}
+
+// Range returns the distance reachable with power w, the inverse of
+// CostDist: the largest d with kappa·d^alpha ≤ w.
+func (pc PowerCost) Range(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	if pc.Alpha == 1 {
+		return w / pc.Kappa
+	}
+	return math.Pow(w/pc.Kappa, 1/pc.Alpha)
+}
+
+// CostMatrix returns the symmetric n×n matrix of pairwise transmission
+// costs for the given points, as a flat row-major slice.
+func (pc PowerCost) CostMatrix(pts []Point) []float64 {
+	n := len(pts)
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := pc.Cost(pts[i], pts[j])
+			m[i*n+j] = c
+			m[j*n+i] = c
+		}
+	}
+	return m
+}
+
+// RandomCloud returns n points drawn uniformly at random from the
+// d-dimensional cube [0, side]^d using rng.
+func RandomCloud(rng *rand.Rand, n, d int, side float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, d)
+		for j := range p {
+			p[j] = rng.Float64() * side
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Line returns n collinear points (dimension 1) at the given coordinates.
+func Line(xs ...float64) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{x}
+	}
+	return pts
+}
+
+// Circle returns n points evenly spaced on the circle of the given radius
+// centred at (cx, cy), starting at angle phase (radians). Dimension 2.
+func Circle(n int, radius, cx, cy, phase float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		a := phase + 2*math.Pi*float64(i)/float64(n)
+		pts[i] = Point{cx + radius*math.Cos(a), cy + radius*math.Sin(a)}
+	}
+	return pts
+}
+
+// Segment returns points spaced step apart along the segment from a to b,
+// excluding both endpoints. It is used to build the relay chains of the
+// Fig. 2 pentagon instance.
+func Segment(a, b Point, step float64) []Point {
+	d := Dist(a, b)
+	if d <= step {
+		return nil
+	}
+	dir := b.Sub(a).Scale(1 / d)
+	var pts []Point
+	for t := step; t < d-1e-9; t += step {
+		pts = append(pts, a.Add(dir.Scale(t)))
+	}
+	return pts
+}

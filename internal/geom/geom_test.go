@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Point{4, 6, 8}
+	if got := p.Add(q); !got.Equal(Point{5, 8, 11}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); !got.Equal(Point{3, 4, 5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !got.Equal(Point{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if p.Dim() != 3 {
+		t.Errorf("Dim = %d", p.Dim())
+	}
+	c := p.Clone()
+	c[0] = 99
+	if p[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+	if p.Equal(Point{1, 2}) {
+		t.Error("Equal must reject dimension mismatch")
+	}
+}
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0}, Point{3}, 3},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1, 1}, Point{1, 1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, c := range cases {
+		if got := Dist(c.p, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Dist(%v,%v) = %g want %g", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dist(Point{1}, Point{1, 2})
+}
+
+func TestNorm(t *testing.T) {
+	if got := (Point{3, 4}).Norm(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm = %g", got)
+	}
+}
+
+func TestPowerCost(t *testing.T) {
+	pc := PowerCost{Alpha: 2, Kappa: 1}
+	if got := pc.Cost(Point{0, 0}, Point{3, 4}); !almostEqual(got, 25, 1e-9) {
+		t.Errorf("Cost = %g want 25", got)
+	}
+	pc = PowerCost{Alpha: 1, Kappa: 2}
+	if got := pc.Cost(Point{0}, Point{5}); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("Cost = %g want 10", got)
+	}
+	if got := NewPowerCost(3).Kappa; got != 1 {
+		t.Errorf("NewPowerCost kappa = %g", got)
+	}
+}
+
+func TestRangeInvertsCostDist(t *testing.T) {
+	f := func(alpha8, d8 uint8) bool {
+		alpha := 1 + float64(alpha8%50)/10 // [1, 5.9]
+		d := float64(d8)/16 + 0.01
+		pc := PowerCost{Alpha: alpha, Kappa: 1}
+		return almostEqual(pc.Range(pc.CostDist(d)), d, 1e-9*(1+d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeZeroPower(t *testing.T) {
+	pc := NewPowerCost(2)
+	if pc.Range(0) != 0 || pc.Range(-1) != 0 {
+		t.Error("Range of nonpositive power must be 0")
+	}
+}
+
+func TestCostMatrixSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := RandomCloud(rng, 7, 3, 10)
+	m := NewPowerCost(2).CostMatrix(pts)
+	n := len(pts)
+	for i := 0; i < n; i++ {
+		if m[i*n+i] != 0 {
+			t.Errorf("diagonal entry %d nonzero", i)
+		}
+		for j := 0; j < n; j++ {
+			if m[i*n+j] != m[j*n+i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomCloudBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := RandomCloud(rng, 50, 2, 4)
+	if len(pts) != 50 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Dim() != 2 {
+			t.Fatalf("dim = %d", p.Dim())
+		}
+		for _, v := range p {
+			if v < 0 || v > 4 {
+				t.Fatalf("coordinate %g out of [0,4]", v)
+			}
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	pts := Line(0, 1.5, 4)
+	if len(pts) != 3 || pts[1][0] != 1.5 {
+		t.Errorf("Line = %v", pts)
+	}
+}
+
+func TestCircle(t *testing.T) {
+	pts := Circle(5, 2, 1, 1, 0)
+	if len(pts) != 5 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !almostEqual(Dist(p, Point{1, 1}), 2, 1e-9) {
+			t.Errorf("point %v not on circle", p)
+		}
+	}
+	// Adjacent points are equidistant.
+	d01 := Dist(pts[0], pts[1])
+	d12 := Dist(pts[1], pts[2])
+	if !almostEqual(d01, d12, 1e-9) {
+		t.Errorf("uneven spacing %g vs %g", d01, d12)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	pts := Segment(Point{0, 0}, Point{5, 0}, 1)
+	if len(pts) != 4 {
+		t.Fatalf("want 4 interior points, got %d: %v", len(pts), pts)
+	}
+	for i, p := range pts {
+		if !almostEqual(p[0], float64(i+1), 1e-9) || !almostEqual(p[1], 0, 1e-12) {
+			t.Errorf("point %d = %v", i, p)
+		}
+	}
+	if got := Segment(Point{0}, Point{0.5}, 1); got != nil {
+		t.Errorf("short segment should be empty, got %v", got)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1, 2.5}).String(); got != "(1, 2.5)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package graph provides the graph substrate shared by all algorithms in
+// this repository: adjacency-list weighted graphs (undirected and
+// directed), dense symmetric cost matrices, a disjoint-set union, and an
+// indexed binary min-heap.
+//
+// Vertices are dense integers 0..N()−1 throughout; algorithms that need
+// sparse identifiers keep their own mapping.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted edge. For undirected graphs an Edge is stored once in
+// each endpoint's adjacency list; Edges() reports each edge once with
+// From < To.
+type Edge struct {
+	From, To int
+	W        float64
+}
+
+// Graph is a weighted undirected multigraph with dense vertex ids.
+type Graph struct {
+	adj [][]Edge
+	m   int
+}
+
+// New returns an empty undirected graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts an undirected edge {u, v} of weight w. Self-loops are
+// rejected because no algorithm in this repository uses them.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.adj[u] = append(g.adj[u], Edge{From: u, To: v, W: w})
+	g.adj[v] = append(g.adj[v], Edge{From: v, To: u, W: w})
+	g.m++
+}
+
+// AddVertex appends a fresh isolated vertex and returns its id.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is owned
+// by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree returns the number of incident edges of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Edges returns every edge exactly once, with From < To, sorted by
+// (W, From, To) for determinism.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for u, l := range g.adj {
+		for _, e := range l {
+			if e.To > u {
+				es = append(es, Edge{From: u, To: e.To, W: e.W})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].W != es[j].W {
+			return es[i].W < es[j].W
+		}
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]Edge, len(g.adj)), m: g.m}
+	for i, l := range g.adj {
+		c.adj[i] = append([]Edge(nil), l...)
+	}
+	return c
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.Edges() {
+		s += e.W
+	}
+	return s
+}
+
+// Digraph is a weighted directed multigraph with dense vertex ids.
+type Digraph struct {
+	out [][]Edge
+	in  [][]Edge
+	m   int
+}
+
+// NewDigraph returns an empty digraph on n vertices.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{out: make([][]Edge, n), in: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return len(g.out) }
+
+// M returns the number of arcs.
+func (g *Digraph) M() int { return g.m }
+
+// AddArc inserts the arc u→v with weight w.
+func (g *Digraph) AddArc(u, v int, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	e := Edge{From: u, To: v, W: w}
+	g.out[u] = append(g.out[u], e)
+	g.in[v] = append(g.in[v], e)
+	g.m++
+}
+
+// Out returns the outgoing arcs of u (owned by the digraph).
+func (g *Digraph) Out(u int) []Edge { return g.out[u] }
+
+// In returns the incoming arcs of u (owned by the digraph).
+func (g *Digraph) In(u int) []Edge { return g.in[u] }
+
+// Arcs returns all arcs sorted by (From, To, W) for determinism.
+func (g *Digraph) Arcs() []Edge {
+	es := make([]Edge, 0, g.m)
+	for _, l := range g.out {
+		es = append(es, l...)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].W < es[j].W
+	})
+	return es
+}
+
+// Matrix is a dense symmetric cost matrix over n vertices, the natural
+// representation of the paper's complete "cost graph" (S, c). The zero
+// diagonal is maintained by construction.
+type Matrix struct {
+	n int
+	a []float64
+}
+
+// NewMatrix returns an n×n zero matrix.
+func NewMatrix(n int) *Matrix { return &Matrix{n: n, a: make([]float64, n*n)} }
+
+// MatrixFrom wraps a row-major flat slice as a Matrix. The slice is used
+// directly (not copied) and must have length n².
+func MatrixFrom(n int, a []float64) *Matrix {
+	if len(a) != n*n {
+		panic(fmt.Sprintf("graph: matrix length %d != %d", len(a), n*n))
+	}
+	return &Matrix{n: n, a: a}
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the entry (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.a[i*m.n+j] }
+
+// Set assigns entry (i, j) and, to preserve symmetry, (j, i).
+func (m *Matrix) Set(i, j int, w float64) {
+	m.a[i*m.n+j] = w
+	m.a[j*m.n+i] = w
+}
+
+// SetAsym assigns only entry (i, j), for callers that need an asymmetric
+// matrix (e.g. all-pairs shortest-path tables).
+func (m *Matrix) SetAsym(i, j int, w float64) { m.a[i*m.n+j] = w }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{n: m.n, a: append([]float64(nil), m.a...)}
+}
+
+// Complete returns the complete undirected graph whose edge weights are
+// the strict upper triangle of m (entries must be nonnegative).
+func (m *Matrix) Complete() *Graph {
+	g := New(m.n)
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			g.AddEdge(i, j, m.At(i, j))
+		}
+	}
+	return g
+}

@@ -1,0 +1,171 @@
+// Package instances provides the concrete problem instances of the paper
+// — the Fig. 1 NWST collusion gadget and the Fig. 2 pentagon family with
+// an empty core — plus the random generators used by the simulated
+// evaluation (uniform Euclidean clouds, lines, and abstract symmetric
+// cost graphs).
+package instances
+
+import (
+	"math"
+	"math/rand"
+
+	"wmcs/internal/geom"
+	"wmcs/internal/graph"
+	"wmcs/internal/mech"
+	"wmcs/internal/nwst"
+	"wmcs/internal/steiner"
+	"wmcs/internal/wireless"
+)
+
+// Fig. 1 vertex ids (terminals carry zero weight as in the paper).
+const (
+	Fig1T1 = 0 // terminal "1"
+	Fig1T5 = 1 // terminal "5"
+	Fig1T6 = 2 // terminal "6"
+	Fig1T7 = 3 // terminal "7"
+	Fig1A  = 4 // spider Sp2's center, weight 3
+	Fig1P  = 5 // the "1→4→6" connector, weight 3
+	Fig1D  = 6 // spider Sp1's center, weight 4
+)
+
+// Fig1NWST reconstructs the Fig. 1 instance of §2.2.2 together with the
+// truthful profile (u₁ = u₅ = u₆ = 3, u₇ = 3/2) and the colluding profile
+// in which x₇ shades its report to 3/2 − ε. Replaying the mechanism on
+// both profiles reproduces the paper's numbers exactly: truthful shares
+// are all 3/2, while under collusion x₇ is dropped and the others pay 4/3
+// each, strictly increasing their welfare — the mechanism is not group
+// strategyproof.
+func Fig1NWST(eps float64) (nwst.Instance, mech.Profile, mech.Profile) {
+	g := graph.New(7)
+	w := []float64{0, 0, 0, 0, 3, 3, 4}
+	// Spider Sp2: center A adjacent to terminals 1, 5, 7 (cost 3, ratio 1).
+	g.AddEdge(Fig1A, Fig1T1, 0)
+	g.AddEdge(Fig1A, Fig1T5, 0)
+	g.AddEdge(Fig1A, Fig1T7, 0)
+	// Connector P: the "path 1→4→6" of cost 3 (ratio 3/2 over 2 terms).
+	g.AddEdge(Fig1P, Fig1T1, 0)
+	g.AddEdge(Fig1P, Fig1T6, 0)
+	// Spider Sp1: center D adjacent to terminals 1, 5, 6 (cost 4, ratio 4/3).
+	g.AddEdge(Fig1D, Fig1T1, 0)
+	g.AddEdge(Fig1D, Fig1T5, 0)
+	g.AddEdge(Fig1D, Fig1T6, 0)
+	inst := nwst.Instance{
+		G:         g,
+		Weights:   w,
+		Terminals: []int{Fig1T1, Fig1T5, Fig1T6, Fig1T7},
+	}
+	truth := mech.Profile{3, 3, 3, 1.5, 0, 0, 0}
+	collude := truth.Clone()
+	collude[Fig1T7] = 1.5 - eps
+	return inst, truth, collude
+}
+
+// PentagonInstance is the Lemma 3.3 / Fig. 2 construction: five external
+// stations on a circle of radius m around the source, five internal
+// stations on the half-radius circle rotated to sit between adjacent
+// externals, and unit-spaced relay chains along every dotted line of the
+// figure (source to every station, internals to their two closest
+// externals).
+type PentagonInstance struct {
+	Net       *wireless.Network
+	Source    int
+	Externals []int // the five agents x₀..x₄ of the lemma
+	Internals []int // y₀..y₄
+	// Chain is the relay graph: edges between stations within unit-hop
+	// range, weighted by transmission cost; optimal multicasts on this
+	// family live on it.
+	Chain *graph.Graph
+}
+
+// Pentagon builds the instance for circle radius m (the lemma's scale
+// parameter) and distance-power gradient alpha > 1.
+func Pentagon(m, alpha float64) *PentagonInstance {
+	var pts []geom.Point
+	src := geom.Point{0, 0}
+	pts = append(pts, src)
+	ext := geom.Circle(5, m, 0, 0, math.Pi/2)
+	inner := geom.Circle(5, m/2, 0, 0, math.Pi/2+math.Pi/5)
+	extIdx := make([]int, 5)
+	innerIdx := make([]int, 5)
+	for i, p := range ext {
+		extIdx[i] = len(pts)
+		pts = append(pts, p)
+	}
+	for i, p := range inner {
+		innerIdx[i] = len(pts)
+		pts = append(pts, p)
+	}
+	addChain := func(a, b geom.Point) {
+		for _, p := range geom.Segment(a, b, 1) {
+			pts = append(pts, p)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		addChain(src, ext[i])
+		addChain(src, inner[i])
+		// Internal y_i sits between externals i and i+1 (mod 5).
+		addChain(inner[i], ext[i])
+		addChain(inner[i], ext[(i+1)%5])
+	}
+	nw := wireless.NewEuclidean(pts, geom.NewPowerCost(alpha), 0)
+	chain := graph.New(len(pts))
+	const hop = 1.45 // links unit chain steps but no two-hop shortcuts
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if geom.Dist(pts[i], pts[j]) <= hop {
+				chain.AddEdge(i, j, nw.C(i, j))
+			}
+		}
+	}
+	return &PentagonInstance{
+		Net:       nw,
+		Source:    0,
+		Externals: extIdx,
+		Internals: innerIdx,
+		Chain:     chain,
+	}
+}
+
+// Cost estimates C*(R) for a subset of the agents by an exact Steiner
+// tree on the relay graph followed by the tree→power conversion (each
+// station pays its heaviest child edge). On this family optimal
+// assignments use unit chain hops, so the estimate is tight up to the
+// O(1) branching savings the lemma itself declares negligible.
+func (p *PentagonInstance) Cost(R []int) float64 {
+	if len(R) == 0 {
+		return 0
+	}
+	terms := append([]int{p.Source}, R...)
+	st := steiner.DreyfusWagner(p.Chain, terms)
+	tree := wireless.TreeFromUndirectedEdges(p.Net.N(), st.Edges, p.Source)
+	return p.Net.AssignmentForTree(tree).Total()
+}
+
+// RandomEuclidean returns a network of n uniform stations in [0, side]^d
+// with gradient alpha; station 0 is the source.
+func RandomEuclidean(rng *rand.Rand, n, d int, alpha, side float64) *wireless.Network {
+	return wireless.NewEuclidean(geom.RandomCloud(rng, n, d, side), geom.NewPowerCost(alpha), 0)
+}
+
+// RandomLine returns n stations uniform on a segment of the given length
+// (d = 1) with a uniformly random source.
+func RandomLine(rng *rand.Rand, n int, alpha, length float64) *wireless.Network {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * length
+	}
+	return wireless.NewEuclidean(geom.Line(xs...), geom.NewPowerCost(alpha), rng.Intn(n))
+}
+
+// RandomSymmetric returns an abstract symmetric network with costs drawn
+// uniformly from [lo, hi] — not necessarily metric, exercising the
+// general model of §2.2.
+func RandomSymmetric(rng *rand.Rand, n int, lo, hi float64) *wireless.Network {
+	m := graph.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, lo+rng.Float64()*(hi-lo))
+		}
+	}
+	return wireless.NewSymmetric(m, 0)
+}

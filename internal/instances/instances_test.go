@@ -1,0 +1,132 @@
+package instances
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/geom"
+	"wmcs/internal/nwst"
+	"wmcs/internal/paths"
+)
+
+func TestFig1Structure(t *testing.T) {
+	inst, truth, collude := Fig1NWST(0.01)
+	inst.Validate()
+	if inst.G.N() != 7 || len(inst.Terminals) != 4 {
+		t.Fatalf("N=%d terminals=%v", inst.G.N(), inst.Terminals)
+	}
+	if truth[Fig1T7] != 1.5 || collude[Fig1T7] != 1.49 {
+		t.Errorf("profiles wrong: %g %g", truth[Fig1T7], collude[Fig1T7])
+	}
+	// The intended optimum: D (weight 4) spans {1,5,6}; 7 needs A (3).
+	opt, ok := nwst.ExactSmall(inst, 10)
+	if !ok || math.Abs(opt-6) > 1e-12 {
+		t.Errorf("exact = %g want 6 (A + P or A + D−...)", opt)
+	}
+}
+
+func TestFig1MinRatioSpiderIsSp2(t *testing.T) {
+	inst, _, _ := Fig1NWST(0.01)
+	st := nwst.NewState(inst)
+	sp, ok := nwst.KleinRaviOracle(st, 3)
+	if !ok {
+		t.Fatal("no spider")
+	}
+	if math.Abs(sp.Ratio-1) > 1e-12 || sp.Paying != 3 {
+		t.Fatalf("first spider should be Sp2 (ratio 1 over 3 terminals), got %+v", sp)
+	}
+	// Its terminals are 1, 5, 7.
+	want := []int{Fig1T1, Fig1T5, Fig1T7}
+	for i, w := range want {
+		if sp.Terms[i] != w {
+			t.Fatalf("spider terms = %v want %v", sp.Terms, want)
+		}
+	}
+}
+
+func TestPentagonGeometry(t *testing.T) {
+	p := Pentagon(8, 2)
+	if len(p.Externals) != 5 || len(p.Internals) != 5 {
+		t.Fatal("wrong agent counts")
+	}
+	pts := p.Net.Points()
+	for _, x := range p.Externals {
+		if math.Abs(pts[x].Norm()-8) > 1e-9 {
+			t.Errorf("external at radius %g", pts[x].Norm())
+		}
+	}
+	for _, y := range p.Internals {
+		if math.Abs(pts[y].Norm()-4) > 1e-9 {
+			t.Errorf("internal at radius %g", pts[y].Norm())
+		}
+	}
+	// Each internal is equidistant from its two closest externals.
+	for i, y := range p.Internals {
+		d1 := geom.Dist(pts[y], pts[p.Externals[i]])
+		d2 := geom.Dist(pts[y], pts[p.Externals[(i+1)%5]])
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Errorf("internal %d not equidistant: %g vs %g", i, d1, d2)
+		}
+	}
+	// The relay graph must connect everything to the source.
+	reach, _, _ := paths.BFS(p.Chain, p.Source)
+	for v, ok := range reach {
+		if !ok {
+			t.Fatalf("station %d unreachable in chain graph", v)
+		}
+	}
+}
+
+func TestPentagonCostSanity(t *testing.T) {
+	p := Pentagon(8, 2)
+	if p.Cost(nil) != 0 {
+		t.Error("empty cost must be 0")
+	}
+	single := p.Cost(p.Externals[:1])
+	pair := p.Cost(p.Externals[:2])
+	grand := p.Cost(p.Externals)
+	if single <= 0 || pair < single-1e-9 || grand < pair-1e-9 {
+		t.Errorf("costs not monotone: single=%g pair=%g grand=%g", single, pair, grand)
+	}
+	// Reaching one external costs roughly m unit hops (≈ 8), certainly
+	// less than the direct m^α = 64 blast.
+	if single > 16 {
+		t.Errorf("single = %g, expected chain-hop scale ≈ 8", single)
+	}
+	// Lemma 3.3's driver: serving adjacent externals via the shared
+	// internal is cheaper than two separate lines.
+	if pair > 2*single-1 {
+		t.Errorf("pair = %g should save over 2×single = %g via the internal relay", pair, 2*single)
+	}
+}
+
+func TestRandomGeneratorsDeterministic(t *testing.T) {
+	a := RandomEuclidean(rand.New(rand.NewSource(9)), 6, 2, 2, 10)
+	b := RandomEuclidean(rand.New(rand.NewSource(9)), 6, 2, 2, 10)
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.N(); j++ {
+			if a.C(i, j) != b.C(i, j) {
+				t.Fatal("RandomEuclidean not deterministic under a fixed seed")
+			}
+		}
+	}
+	l := RandomLine(rand.New(rand.NewSource(1)), 5, 2, 10)
+	if l.Dim() != 1 || l.N() != 5 {
+		t.Error("RandomLine malformed")
+	}
+	s := RandomSymmetric(rand.New(rand.NewSource(1)), 5, 0.5, 10)
+	if s.IsEuclidean() {
+		t.Error("RandomSymmetric should be abstract")
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j && (s.C(i, j) < 0.5 || s.C(i, j) > 10) {
+				t.Errorf("cost out of range: %g", s.C(i, j))
+			}
+			if s.C(i, j) != s.C(j, i) {
+				t.Error("asymmetric cost")
+			}
+		}
+	}
+}

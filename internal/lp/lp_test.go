@@ -1,0 +1,230 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleMin(t *testing.T) {
+	// min x+y s.t. x+y ≥ 2, x ≤ 5, y ≤ 5 → obj 2.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, GE, 2)
+	p.AddConstraint([]float64{1, 0}, LE, 5)
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	r := p.Solve()
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if math.Abs(r.Obj-2) > 1e-7 {
+		t.Errorf("obj = %g want 2", r.Obj)
+	}
+}
+
+func TestMaximizationViaNegation(t *testing.T) {
+	// max 3x+2y s.t. x+y ≤ 4, x+3y ≤ 6 → x=4, y=0, obj 12.
+	p := NewProblem(2)
+	p.SetObjective([]float64{-3, -2})
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	r := p.Solve()
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if math.Abs(r.Obj+12) > 1e-7 {
+		t.Errorf("obj = %g want -12", r.Obj)
+	}
+	if math.Abs(r.X[0]-4) > 1e-7 || math.Abs(r.X[1]) > 1e-7 {
+		t.Errorf("x = %v", r.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x s.t. x + y = 3, y ≤ 1 → x = 2.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0})
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	r := p.Solve()
+	if r.Status != Optimal || math.Abs(r.Obj-2) > 1e-7 {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	if got := p.Solve().Status; got != Infeasible {
+		t.Errorf("status = %v", got)
+	}
+	if p.Feasible() {
+		t.Error("Feasible() should be false")
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{-1}) // max x
+	p.AddConstraint([]float64{1}, GE, 0)
+	if got := p.Solve().Status; got != Unbounded {
+		t.Errorf("status = %v", got)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// −x ≤ −2  ⇔  x ≥ 2; min x → 2.
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, -2)
+	r := p.Solve()
+	if r.Status != Optimal || math.Abs(r.Obj-2) > 1e-7 {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles without Bland's rule).
+	p := NewProblem(4)
+	p.SetObjective([]float64{-0.75, 150, -0.02, 6})
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	r := p.Solve()
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if math.Abs(r.Obj-(-0.05)) > 1e-6 {
+		t.Errorf("obj = %g want -0.05", r.Obj)
+	}
+}
+
+func TestFeasibilityAgainstBruteForce(t *testing.T) {
+	// Random interval systems in 2 vars: a ≤ x ≤ b, c ≤ y ≤ d,
+	// x + y ≥ e. Feasibility is decidable by hand; compare.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Float64()*5, rng.Float64()*5
+		if a > b {
+			a, b = b, a
+		}
+		c, d := rng.Float64()*5, rng.Float64()*5
+		if c > d {
+			c, d = d, c
+		}
+		e := rng.Float64() * 15
+		p := NewProblem(2)
+		p.AddConstraint([]float64{1, 0}, GE, a)
+		p.AddConstraint([]float64{1, 0}, LE, b)
+		p.AddConstraint([]float64{0, 1}, GE, c)
+		p.AddConstraint([]float64{0, 1}, LE, d)
+		p.AddConstraint([]float64{1, 1}, GE, e)
+		want := b+d >= e-1e-9
+		if got := p.Feasible(); got != want {
+			t.Fatalf("trial %d: feasible=%v want %v (a=%g b=%g c=%g d=%g e=%g)",
+				trial, got, want, a, b, c, d, e)
+		}
+	}
+}
+
+// Random LPs: verify weak duality sanity — the reported optimum is
+// feasible and no sampled feasible point beats it.
+func TestOptimalityAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = rng.Float64()*4 - 2
+		}
+		p.SetObjective(obj)
+		cons := make([][]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() // nonneg rows + LE keeps it bounded... except obj may want 0
+			}
+			cons[i] = row
+			rhs[i] = 1 + rng.Float64()*5
+			p.AddConstraint(row, LE, rhs[i])
+		}
+		// Bound the box so negative objectives cannot be unbounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddConstraint(row, LE, 10)
+		}
+		r := p.Solve()
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		// Solution feasible?
+		for i := 0; i < m; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += cons[i][j] * r.X[j]
+			}
+			if s > rhs[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %g > %g", trial, i, s, rhs[i])
+			}
+		}
+		for _, x := range r.X {
+			if x < -1e-9 || x > 10+1e-6 {
+				t.Fatalf("trial %d: x out of box: %v", trial, r.X)
+			}
+		}
+		// Sampled points never beat the optimum.
+		for s := 0; s < 300; s++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 10
+			}
+			ok := true
+			for i := 0; i < m && ok; i++ {
+				var sum float64
+				for j := 0; j < n; j++ {
+					sum += cons[i][j] * x[j]
+				}
+				ok = sum <= rhs[i]
+			}
+			if !ok {
+				continue
+			}
+			var v float64
+			for j := 0; j < n; j++ {
+				v += obj[j] * x[j]
+			}
+			if v < r.Obj-1e-6 {
+				t.Fatalf("trial %d: sampled %g beats reported optimum %g", trial, v, r.Obj)
+			}
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status should still render")
+	}
+}
+
+func TestPanicsOnBadLengths(t *testing.T) {
+	p := NewProblem(2)
+	func() {
+		defer func() { recover() }()
+		p.SetObjective([]float64{1})
+		t.Error("SetObjective should panic")
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddConstraint should panic")
+		}
+	}()
+	p.AddConstraint([]float64{1}, LE, 0)
+}

@@ -1,0 +1,156 @@
+package memtred
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/nwst"
+	"wmcs/internal/wireless"
+)
+
+func TestReductionStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw := instances.RandomEuclidean(rng, 5, 2, 2, 10)
+	rd := New(nw)
+	n := nw.N()
+	// n input nodes plus ≤ n−1 output nodes per station.
+	if got := rd.G.N(); got > n+n*(n-1) || got < 2*n {
+		t.Fatalf("node count %d out of range", got)
+	}
+	for i := 0; i < n; i++ {
+		if rd.Weights[rd.In[i]] != 0 {
+			t.Errorf("input node of %d has weight %g", i, rd.Weights[rd.In[i]])
+		}
+		if rd.Station(rd.In[i]) != i {
+			t.Errorf("station mapping wrong for input %d", i)
+		}
+		prev := -1.0
+		for _, o := range rd.OutNodes[i] {
+			if rd.Station(o) != i {
+				t.Errorf("station mapping wrong for output of %d", i)
+			}
+			if rd.Weights[o] <= prev {
+				t.Errorf("output weights of %d not strictly increasing", i)
+			}
+			prev = rd.Weights[o]
+		}
+	}
+}
+
+func TestInstanceTerminals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw := instances.RandomEuclidean(rng, 6, 2, 2, 10)
+	rd := New(nw)
+	R := []int{2, 4}
+	in := rd.Instance(R)
+	if len(in.Terminals) != 3 || !in.Free[0] || in.Free[1] || in.Free[2] {
+		t.Fatalf("terminals %v free %v", in.Terminals, in.Free)
+	}
+	if in.Terminals[0] != rd.In[nw.Source()] {
+		t.Error("first terminal must be the source input")
+	}
+}
+
+// End-to-end: solve NWST on the reduction, extract, and verify the power
+// assignment multicasts to R with cost at most twice the NWST solution
+// (the §2.2.1 accounting) and at least the true optimum.
+func TestReductionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		nw := instances.RandomEuclidean(rng, 5+rng.Intn(4), 2, 1+rng.Float64()*3, 10)
+		var R []int
+		for _, v := range nw.AllReceivers() {
+			if rng.Float64() < 0.6 {
+				R = append(R, v)
+			}
+		}
+		if len(R) == 0 {
+			R = []int{1}
+		}
+		rd := New(nw)
+		sol, ok := nwst.Solve(rd.Instance(R), nwst.KleinRaviOracle)
+		if !ok {
+			t.Fatalf("trial %d: NWST solve failed", trial)
+		}
+		ex := rd.Extract(sol.Nodes, R)
+		if !nw.Feasible(ex.Pi, R) {
+			t.Fatalf("trial %d: extracted assignment infeasible", trial)
+		}
+		if ex.Pi.Total() > 2*sol.Cost+1e-9 {
+			t.Fatalf("trial %d: power %g exceeds 2×NWST cost %g", trial, ex.Pi.Total(), sol.Cost)
+		}
+		opt, _ := wireless.ExactMEMT(nw, R)
+		if ex.Pi.Total() < opt-1e-9 {
+			t.Fatalf("trial %d: power %g beats optimum %g", trial, ex.Pi.Total(), opt)
+		}
+		// π′ never exceeds π on stations that transmit, and both vanish on
+		// stations outside the tree.
+		for i := 0; i < nw.N(); i++ {
+			if ex.Pi[i] > 0 && ex.PiNWST[i] > ex.Pi[i]+1e-9 {
+				// π′ can exceed π when pruning removed heavy outputs from a
+				// station that still transmits cheaply — but never when the
+				// station's heaviest surviving output is what the BFS used.
+				// Accept but require π′ to be a chosen output weight.
+				found := false
+				for _, o := range rd.OutNodes[i] {
+					if math.Abs(rd.Weights[o]-ex.PiNWST[i]) < 1e-12 {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: π′[%d]=%g is not an output weight", trial, i, ex.PiNWST[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExactOptimalityGap(t *testing.T) {
+	// The NWST optimum on the reduction is within the 2× accounting of
+	// the true MEMT optimum: OPT_NWST ≤ OPT_MEMT (the multicast tree's
+	// powers are a feasible NWST choice), so any ρ-approximate NWST
+	// solution extracts to a 2ρ-approximate assignment.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		nw := instances.RandomEuclidean(rng, 5, 2, 2, 10)
+		R := nw.AllReceivers()
+		rd := New(nw)
+		in := rd.Instance(R)
+		optN, ok := nwst.ExactSmall(in, 20)
+		if !ok {
+			t.Fatal("exact NWST failed")
+		}
+		optM, _ := wireless.ExactMEMT(nw, R)
+		if optN > optM+1e-9 {
+			t.Fatalf("trial %d: NWST optimum %g exceeds MEMT optimum %g", trial, optN, optM)
+		}
+	}
+}
+
+func TestDownstreamReceivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nw := instances.RandomEuclidean(rng, 6, 2, 2, 10)
+	R := []int{1, 2, 3, 4, 5}
+	rd := New(nw)
+	sol, ok := nwst.Solve(rd.Instance(R), nwst.KleinRaviOracle)
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	ex := rd.Extract(sol.Nodes, R)
+	down := ex.DownstreamReceivers(nw.N(), R)
+	// The source must see every receiver downstream.
+	got := down[nw.Source()]
+	if len(got) != len(R) {
+		t.Fatalf("source downstream = %v want all of %v", got, R)
+	}
+	// Downstream sets never contain the station itself.
+	for v, set := range down {
+		for _, w := range set {
+			if w == v {
+				t.Fatalf("station %d is in its own downstream set", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wmcs/internal/graph"
+)
+
+// Property: adding an edge never increases the MST weight, and removing a
+// non-bridge edge never decreases it.
+func TestQuickMSTMonotoneInEdges(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 3 + rng.Intn(8)
+		g := graph.New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), rng.Float64()*5+0.01)
+		}
+		before := Weight(Kruskal(g))
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			return true
+		}
+		g.AddEdge(u, v, rng.Float64()*5+0.01)
+		after := Weight(Kruskal(g))
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (cut optimality): for every tree edge of the MST, no non-tree
+// edge crossing the cut it defines is strictly cheaper.
+func TestQuickMSTCutProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 3 + rng.Intn(7)
+		m := graph.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, rng.Float64()*10+0.01)
+			}
+		}
+		edges := PrimMatrix(m, 0)
+		for _, te := range edges {
+			// Remove te: split vertices into the two components.
+			uf := graph.NewUnionFind(n)
+			for _, oe := range edges {
+				if oe != te {
+					uf.Union(oe.From, oe.To)
+				}
+			}
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if !uf.Same(u, v) && m.At(u, v) < te.W-1e-9 {
+						return false // cheaper crossing edge exists
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,648 @@
+// Package nwst implements the node-weighted Steiner tree (NWST) machinery
+// of §2.2 of the paper: node-weighted shortest paths, minimum-ratio spider
+// oracles in the style of Klein–Ravi [33] and Guha–Khuller [28], the
+// shrink/contract greedy, and an exact solver for small instances.
+//
+// An NWST instance is an undirected graph with nonnegative *node* weights
+// and a set of terminals; the goal is a minimum-weight connected subgraph
+// containing all terminals (edge weights play no role). The §2.2.2
+// mechanism drives the same oracle/shrink machinery but interleaves the
+// utility checks; package nwstmech builds on the State type exported here.
+package nwst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wmcs/internal/graph"
+)
+
+// Instance is a node-weighted Steiner tree instance.
+type Instance struct {
+	G         *graph.Graph // host graph; edge weights are ignored
+	Weights   []float64    // node weights, len == G.N()
+	Terminals []int        // required terminals
+	// Free marks terminals that must be connected but never pay and are
+	// not counted in spider ratios (the wireless reduction's source
+	// terminal). len(Free) == len(Terminals) or nil for "all paying".
+	Free []bool
+}
+
+// Validate panics on malformed instances; used by constructors of
+// dependent packages.
+func (in Instance) Validate() {
+	if len(in.Weights) != in.G.N() {
+		panic(fmt.Sprintf("nwst: %d weights for %d nodes", len(in.Weights), in.G.N()))
+	}
+	if in.Free != nil && len(in.Free) != len(in.Terminals) {
+		panic("nwst: Free length mismatch")
+	}
+	for _, w := range in.Weights {
+		if w < 0 {
+			panic("nwst: negative node weight")
+		}
+	}
+}
+
+// Spider is a candidate structure chosen by a ratio oracle: a center and a
+// union of node-weighted paths ("legs") covering a set of terminals. Cost
+// is the exact total weight of the node union; Ratio is Cost divided by
+// the number of covered *paying* terminals.
+type Spider struct {
+	Center int
+	Nodes  []int // node union, live ids, includes Center and terminals
+	Terms  []int // covered live terminals (paying and free)
+	Paying int   // number of covered paying terminals
+	Cost   float64
+	Ratio  float64
+}
+
+// Oracle finds a low-ratio spider covering at least minCover paying
+// terminals, returning ok=false if none exists.
+type Oracle func(s *State, minCover int) (Spider, bool)
+
+// State is the mutable contracted instance shared by the greedy algorithm
+// and the §2.2.2 mechanism. Contracting a spider kills its nodes and adds
+// a fresh zero-weight terminal adjacent to all their live neighbors; the
+// new terminal remembers the original terminals it contains
+// (the paper's N+_t).
+type State struct {
+	n0     int // number of original vertices
+	g      *graph.Graph
+	w      []float64
+	alive  []bool
+	isTerm []bool
+	free   []bool
+	cons   [][]int // constituents: original terminal ids inside vertex
+}
+
+// NewState initializes the contraction state from an instance.
+func NewState(in Instance) *State {
+	in.Validate()
+	n := in.G.N()
+	s := &State{
+		n0:     n,
+		g:      in.G.Clone(),
+		w:      append([]float64(nil), in.Weights...),
+		alive:  make([]bool, n),
+		isTerm: make([]bool, n),
+		free:   make([]bool, n),
+		cons:   make([][]int, n),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	for ti, t := range in.Terminals {
+		s.isTerm[t] = true
+		if in.Free != nil && in.Free[ti] {
+			s.free[t] = true
+		} else {
+			s.cons[t] = []int{t}
+		}
+	}
+	return s
+}
+
+// N0 returns the number of original vertices.
+func (s *State) N0() int { return s.n0 }
+
+// Weight returns the node weight of a live or dead vertex.
+func (s *State) Weight(v int) float64 { return s.w[v] }
+
+// IsTerminal reports whether live vertex v is a terminal.
+func (s *State) IsTerminal(v int) bool { return s.isTerm[v] }
+
+// IsFree reports whether terminal v is a non-paying (source) terminal.
+func (s *State) IsFree(v int) bool { return s.free[v] }
+
+// Alive reports whether vertex v has not been contracted away.
+func (s *State) Alive(v int) bool { return s.alive[v] }
+
+// Constituents returns the original paying terminals contained in vertex
+// v (the paper's N+_t); a singleton for an original paying terminal, nil
+// for non-terminals and free terminals.
+func (s *State) Constituents(v int) []int { return s.cons[v] }
+
+// LiveTerminals returns the live terminal ids in increasing order.
+func (s *State) LiveTerminals() []int {
+	var out []int
+	for v := 0; v < s.g.N(); v++ {
+		if s.alive[v] && s.isTerm[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PayingTerminals returns live terminals that share costs.
+func (s *State) PayingTerminals() []int {
+	var out []int
+	for _, t := range s.LiveTerminals() {
+		if !s.free[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DropTerminal removes terminal status from an original terminal (used by
+// the mechanism when an agent cannot pay). The vertex stays in the graph
+// as an optional relay.
+func (s *State) DropTerminal(v int) {
+	s.isTerm[v] = false
+	s.cons[v] = nil
+}
+
+// NodeDist computes node-weighted shortest-path distances from src over
+// live vertices: dist[v] = min over paths of Σ weights of path nodes
+// excluding src itself. parent gives the predecessor on an optimal path.
+func (s *State) NodeDist(src int) (dist []float64, parent []int) {
+	n := s.g.N()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	if !s.alive[src] {
+		return dist, parent
+	}
+	h := graph.NewIndexHeap(n)
+	dist[src] = 0
+	h.Push(src, 0)
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range s.g.Neighbors(u) {
+			v := e.To
+			if !s.alive[v] || done[v] {
+				continue
+			}
+			if nd := du + s.w[v]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				h.PushOrDecrease(v, nd)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// pathNodes walks parent pointers from v back to the source of a NodeDist
+// call, returning the node sequence source..v.
+func pathNodes(parent []int, v int) []int {
+	var rev []int
+	for x := v; x != -1; x = parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathBetween returns the minimum node-weight path between live vertices
+// a and b (inclusive of both) and its total node weight.
+func (s *State) PathBetween(a, b int) ([]int, float64) {
+	dist, parent := s.NodeDist(a)
+	if math.IsInf(dist[b], 1) {
+		return nil, math.Inf(1)
+	}
+	return pathNodes(parent, b), dist[b] + s.w[a]
+}
+
+// buildSpider assembles an exact-cost Spider from a center and a set of
+// leg endpoints with their parent forest.
+func (s *State) buildSpider(center int, parent []int, legEnds []int) Spider {
+	inUnion := map[int]bool{center: true}
+	nodes := []int{center}
+	for _, end := range legEnds {
+		for _, v := range pathNodes(parent, end) {
+			if !inUnion[v] {
+				inUnion[v] = true
+				nodes = append(nodes, v)
+			}
+		}
+	}
+	var cost float64
+	var terms []int
+	paying := 0
+	for _, v := range nodes {
+		cost += s.w[v]
+		if s.isTerm[v] {
+			terms = append(terms, v)
+			if !s.free[v] {
+				paying++
+			}
+		}
+	}
+	sort.Ints(nodes)
+	sort.Ints(terms)
+	ratio := math.Inf(1)
+	if paying > 0 {
+		ratio = cost / float64(paying)
+	}
+	return Spider{Center: center, Nodes: nodes, Terms: terms, Paying: paying, Cost: cost, Ratio: ratio}
+}
+
+// KleinRaviOracle finds a minimum-ratio spider in the style of Klein–Ravi
+// [33]: for every live center, take the minCover, minCover+1, … nearest
+// paying terminals by node-weighted distance and keep the prefix whose
+// exact union cost per covered paying terminal is smallest.
+func KleinRaviOracle(s *State, minCover int) (Spider, bool) {
+	best := Spider{Ratio: math.Inf(1)}
+	found := false
+	n := s.g.N()
+	paying := s.PayingTerminals()
+	if len(paying) == 0 {
+		return best, false
+	}
+	if minCover > len(paying) {
+		minCover = len(paying)
+	}
+	for v := 0; v < n; v++ {
+		if !s.alive[v] {
+			continue
+		}
+		dist, parent := s.NodeDist(v)
+		// Paying terminals sorted by distance from v.
+		terms := append([]int(nil), paying...)
+		sort.Slice(terms, func(a, b int) bool {
+			if dist[terms[a]] != dist[terms[b]] {
+				return dist[terms[a]] < dist[terms[b]]
+			}
+			return terms[a] < terms[b]
+		})
+		if math.IsInf(dist[terms[minCover-1]], 1) {
+			continue
+		}
+		for j := minCover; j <= len(terms); j++ {
+			if math.IsInf(dist[terms[j-1]], 1) {
+				break
+			}
+			sp := s.buildSpider(v, parent, terms[:j])
+			if sp.Paying >= minCover && sp.Ratio < best.Ratio-1e-15 {
+				best = sp
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// BranchSpiderOracle extends KleinRaviOracle with Guha–Khuller style
+// branch legs: a leg may route to an intermediate hub and fork to two
+// terminals there, which is what improves the greedy from 2 ln k towards
+// 1.5 ln k. Per center it greedily combines single and forked legs by
+// cost per newly covered terminal, keeping the best exact-ratio prefix.
+func BranchSpiderOracle(s *State, minCover int) (Spider, bool) {
+	base, okBase := KleinRaviOracle(s, minCover)
+	n := s.g.N()
+	paying := s.PayingTerminals()
+	if len(paying) == 0 {
+		return base, okBase
+	}
+	if minCover > len(paying) {
+		minCover = len(paying)
+	}
+	// All-pairs node distances from every live vertex (hubs and centers).
+	dists := make([][]float64, n)
+	parents := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if s.alive[v] {
+			dists[v], parents[v] = s.NodeDist(v)
+		}
+	}
+	best := base
+	found := okBase
+	for v := 0; v < n; v++ {
+		if !s.alive[v] {
+			continue
+		}
+		var items []legItem
+		for _, t := range paying {
+			if !math.IsInf(dists[v][t], 1) {
+				items = append(items, legItem{cost: dists[v][t], ends: []int{t}, hub: -1, terms: []int{t}})
+			}
+		}
+		for u := 0; u < n; u++ {
+			if !s.alive[u] || u == v || math.IsInf(dists[v][u], 1) {
+				continue
+			}
+			// Two nearest paying terminals from hub u.
+			t1, t2 := -1, -1
+			for _, t := range paying {
+				if math.IsInf(dists[u][t], 1) {
+					continue
+				}
+				if t1 < 0 || dists[u][t] < dists[u][t1] {
+					t1, t2 = t, t1
+				} else if t2 < 0 || dists[u][t] < dists[u][t2] {
+					t2 = t
+				}
+			}
+			if t1 < 0 || t2 < 0 {
+				continue
+			}
+			items = append(items, legItem{
+				cost:  dists[v][u] + dists[u][t1] + dists[u][t2],
+				ends:  []int{t1, t2},
+				hub:   u,
+				terms: []int{t1, t2},
+			})
+		}
+		// Greedy by cost per newly covered terminal.
+		covered := map[int]bool{}
+		var legEnds []int
+		var hubLegs []legItem
+		for len(covered) < len(paying) {
+			bi, bc := -1, math.Inf(1)
+			for i, it := range items {
+				nu := 0
+				for _, t := range it.terms {
+					if !covered[t] {
+						nu++
+					}
+				}
+				if nu == 0 {
+					continue
+				}
+				if per := it.cost / float64(nu); per < bc {
+					bi, bc = i, per
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			it := items[bi]
+			for _, t := range it.terms {
+				covered[t] = true
+			}
+			if it.hub < 0 {
+				legEnds = append(legEnds, it.ends...)
+			} else {
+				hubLegs = append(hubLegs, it)
+			}
+			if len(covered) >= minCover {
+				sp := s.assembleBranchSpider(v, parents, legEnds, hubLegs)
+				if sp.Paying >= minCover && sp.Ratio < best.Ratio-1e-15 {
+					best = sp
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// legItem is a candidate spider leg: either a direct path to one terminal
+// (hub < 0) or a path to a hub that forks to two terminals.
+type legItem struct {
+	cost  float64
+	ends  []int // leg endpoints (terminals), walked in the relevant forest
+	hub   int   // −1 for single legs
+	terms []int
+}
+
+// assembleBranchSpider unions the center's single legs with hub-forked
+// legs and computes exact cost, terminals and ratio.
+func (s *State) assembleBranchSpider(center int, parents [][]int, singleEnds []int, hubLegs []legItem) Spider {
+	inUnion := map[int]bool{center: true}
+	nodes := []int{center}
+	add := func(parent []int, end int) {
+		for _, v := range pathNodes(parent, end) {
+			if !inUnion[v] {
+				inUnion[v] = true
+				nodes = append(nodes, v)
+			}
+		}
+	}
+	for _, e := range singleEnds {
+		add(parents[center], e)
+	}
+	for _, hl := range hubLegs {
+		add(parents[center], hl.hub)
+		for _, e := range hl.ends {
+			add(parents[hl.hub], e)
+		}
+	}
+	var cost float64
+	var terms []int
+	paying := 0
+	for _, v := range nodes {
+		cost += s.w[v]
+		if s.isTerm[v] {
+			terms = append(terms, v)
+			if !s.free[v] {
+				paying++
+			}
+		}
+	}
+	sort.Ints(nodes)
+	sort.Ints(terms)
+	ratio := math.Inf(1)
+	if paying > 0 {
+		ratio = cost / float64(paying)
+	}
+	return Spider{Center: center, Nodes: nodes, Terms: terms, Paying: paying, Cost: cost, Ratio: ratio}
+}
+
+// Shrink contracts the spider's nodes into a fresh zero-weight terminal
+// and returns its id. The new terminal inherits the union of the covered
+// terminals' constituents and adjacency to every live neighbor of the
+// spider. It is free only if every covered terminal was free: a
+// super-terminal that swallowed the source alongside paying agents keeps
+// paying through its constituents (§2.2.3's modified sharing).
+func (s *State) Shrink(sp Spider) int {
+	nv := s.g.AddVertex()
+	s.w = append(s.w, 0)
+	s.alive = append(s.alive, true)
+	s.isTerm = append(s.isTerm, true)
+	inSpider := map[int]bool{}
+	for _, v := range sp.Nodes {
+		inSpider[v] = true
+	}
+	var cons []int
+	freeAll := true
+	for _, t := range sp.Terms {
+		cons = append(cons, s.cons[t]...)
+		if !s.free[t] {
+			freeAll = false
+		}
+	}
+	sort.Ints(cons)
+	s.cons = append(s.cons, cons)
+	s.free = append(s.free, freeAll)
+	// Wire the new vertex to live outside neighbors, then kill the spider.
+	seen := map[int]bool{}
+	for _, v := range sp.Nodes {
+		for _, e := range s.g.Neighbors(v) {
+			u := e.To
+			if s.alive[u] && !inSpider[u] && !seen[u] {
+				seen[u] = true
+				s.g.AddEdge(nv, u, 0)
+			}
+		}
+	}
+	for _, v := range sp.Nodes {
+		s.alive[v] = false
+	}
+	return nv
+}
+
+// Solution is the output of the greedy NWST algorithm: the selected
+// original vertices (terminals included) and their total node weight.
+type Solution struct {
+	Nodes []int
+	Cost  float64
+}
+
+// Solve runs the shrink-greedy NWST approximation: repeatedly contract
+// the oracle's minimum-ratio spider until at most two terminals remain,
+// then connect those optimally. Returns ok=false if the terminals are not
+// connected in the instance.
+func Solve(in Instance, oracle Oracle) (Solution, bool) {
+	s := NewState(in)
+	chosen := map[int]bool{}
+	record := func(nodes []int) {
+		for _, v := range nodes {
+			if v < s.n0 {
+				chosen[v] = true
+			}
+		}
+	}
+	for _, t := range in.Terminals {
+		chosen[t] = true
+	}
+	for {
+		live := s.LiveTerminals()
+		if len(live) <= 1 {
+			break
+		}
+		if len(live) == 2 {
+			path, cost := s.PathBetween(live[0], live[1])
+			if math.IsInf(cost, 1) {
+				return Solution{}, false
+			}
+			record(path)
+			break
+		}
+		sp, ok := oracle(s, min(3, len(s.PayingTerminals())))
+		if !ok {
+			return Solution{}, false
+		}
+		record(sp.Nodes)
+		s.Shrink(sp)
+	}
+	var nodes []int
+	var cost float64
+	for v := range chosen {
+		nodes = append(nodes, v)
+		cost += in.Weights[v]
+	}
+	sort.Ints(nodes)
+	return Solution{Nodes: nodes, Cost: cost}, true
+}
+
+// SpanningTree returns a BFS spanning tree (edge list) of the subgraph of
+// g induced by the given nodes, rooted at root. Node-weighted cost does
+// not depend on the chosen edges, so any spanning tree of the induced
+// subgraph realizes the solution; the reduction back to wireless multicast
+// needs one concrete tree.
+func SpanningTree(g *graph.Graph, nodes []int, root int) []graph.Edge {
+	in := map[int]bool{}
+	for _, v := range nodes {
+		in[v] = true
+	}
+	seen := map[int]bool{root: true}
+	var edges []graph.Edge
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(u) {
+			if in[e.To] && !seen[e.To] {
+				seen[e.To] = true
+				edges = append(edges, graph.Edge{From: u, To: e.To, W: e.W})
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return edges
+}
+
+// ExactSmall computes the optimal NWST cost by enumerating subsets of
+// non-terminal vertices (≤ maxOptional of them) and checking terminal
+// connectivity of the induced subgraph.
+func ExactSmall(in Instance, maxOptional int) (float64, bool) {
+	in.Validate()
+	n := in.G.N()
+	isTerm := make([]bool, n)
+	for _, t := range in.Terminals {
+		isTerm[t] = true
+	}
+	var optional []int
+	var termWeight float64
+	for v := 0; v < n; v++ {
+		if isTerm[v] {
+			termWeight += in.Weights[v]
+		} else {
+			optional = append(optional, v)
+		}
+	}
+	if len(optional) > maxOptional {
+		panic(fmt.Sprintf("nwst: ExactSmall limited to %d optional nodes, got %d", maxOptional, len(optional)))
+	}
+	if len(in.Terminals) <= 1 {
+		return termWeight, true
+	}
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<len(optional); mask++ {
+		var w float64
+		inSet := make([]bool, n)
+		for _, t := range in.Terminals {
+			inSet[t] = true
+		}
+		for b, v := range optional {
+			if mask&(1<<b) != 0 {
+				inSet[v] = true
+				w += in.Weights[v]
+			}
+		}
+		if w+termWeight >= best {
+			continue
+		}
+		if connectedOn(in.G, inSet, in.Terminals) {
+			best = w + termWeight
+		}
+	}
+	return best, !math.IsInf(best, 1)
+}
+
+func connectedOn(g *graph.Graph, inSet []bool, terms []int) bool {
+	start := terms[0]
+	seen := make([]bool, g.N())
+	seen[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(u) {
+			if inSet[e.To] && !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	for _, t := range terms {
+		if !seen[t] {
+			return false
+		}
+	}
+	return true
+}

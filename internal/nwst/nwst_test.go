@@ -1,0 +1,288 @@
+package nwst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/graph"
+)
+
+// fig1Instance reproduces the node-weighted graph of the paper's Fig. 1:
+// terminals 1, 5, 6, 7 (zero weight), internal nodes 2, 3, 4 with weights
+// chosen so the minimum-ratio spiders Sp2 {1,5,7 via 2,3} and Sp3 exist
+// as in the worked example. We use vertex ids:
+//
+//	0:t1  1:t5  2:t6  3:t7  4:w=3 (node "4")  5:w=1.5 (node "2")
+//	6:w=1.5 (node "3")
+//
+// Edges: t1-5, 5-t7, t7-6, 6-t5, t1-4, 4-t6, plus t1-... mirroring the
+// paper's figure: spider Sp2 = {t1, 2, 7, 3, 5} with cost 3 covering
+// terminals {1,5,7} at ratio 1, and the path t1-4-t6 with cost 3 / ratio
+// 3/2 connecting the rest; spider Sp1 = the 3-leg spider through 4.
+func fig1Instance() Instance {
+	g := graph.New(7)
+	w := []float64{0, 0, 0, 0, 3, 1.5, 1.5}
+	g.AddEdge(0, 5, 0) // t1 - node2
+	g.AddEdge(5, 3, 0) // node2 - t7
+	g.AddEdge(3, 6, 0) // t7 - node3
+	g.AddEdge(6, 1, 0) // node3 - t5
+	g.AddEdge(0, 4, 0) // t1 - node4
+	g.AddEdge(4, 2, 0) // node4 - t6
+	g.AddEdge(4, 1, 0) // node4 - t5
+	return Instance{G: g, Weights: w, Terminals: []int{0, 1, 2, 3}}
+}
+
+func TestValidate(t *testing.T) {
+	in := fig1Instance()
+	in.Validate() // must not panic
+	bad := Instance{G: graph.New(2), Weights: []float64{1}, Terminals: nil}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad.Validate()
+}
+
+func TestValidateRejectsNegativeWeight(t *testing.T) {
+	g := graph.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Instance{G: g, Weights: []float64{-1}}.Validate()
+}
+
+func TestNodeDist(t *testing.T) {
+	in := fig1Instance()
+	s := NewState(in)
+	dist, parent := s.NodeDist(0)
+	if dist[0] != 0 {
+		t.Errorf("dist[src] = %g", dist[0])
+	}
+	// t1 → node2(1.5) → t7(0): distance 1.5.
+	if dist[3] != 1.5 {
+		t.Errorf("dist[t7] = %g", dist[3])
+	}
+	// t1 → node4(3) → t6: 3.
+	if dist[2] != 3 {
+		t.Errorf("dist[t6] = %g", dist[2])
+	}
+	if got := pathNodes(parent, 3); len(got) != 3 || got[0] != 0 || got[1] != 5 || got[2] != 3 {
+		t.Errorf("path = %v", got)
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	s := NewState(fig1Instance())
+	nodes, cost := s.PathBetween(0, 2)
+	if math.Abs(cost-3) > 1e-12 {
+		t.Errorf("cost = %g want 3", cost)
+	}
+	if len(nodes) != 3 || nodes[1] != 4 {
+		t.Errorf("nodes = %v", nodes)
+	}
+}
+
+func TestKleinRaviOracleFig1(t *testing.T) {
+	s := NewState(fig1Instance())
+	sp, ok := KleinRaviOracle(s, 3)
+	if !ok {
+		t.Fatal("oracle found nothing")
+	}
+	// The paper: minimum-ratio 3-terminal spiders have ratio 1 (Sp2/Sp3).
+	if math.Abs(sp.Ratio-1) > 1e-12 {
+		t.Errorf("ratio = %g want 1 (spider %+v)", sp.Ratio, sp)
+	}
+	if sp.Paying != 3 {
+		t.Errorf("paying = %d", sp.Paying)
+	}
+}
+
+func TestShrinkBookkeeping(t *testing.T) {
+	s := NewState(fig1Instance())
+	sp, _ := KleinRaviOracle(s, 3)
+	nv := s.Shrink(sp)
+	if !s.Alive(nv) || !s.IsTerminal(nv) || s.Weight(nv) != 0 {
+		t.Error("new terminal malformed")
+	}
+	if got := s.Constituents(nv); len(got) != 3 {
+		t.Errorf("constituents = %v", got)
+	}
+	for _, v := range sp.Nodes {
+		if s.Alive(v) {
+			t.Errorf("spider node %d still alive", v)
+		}
+	}
+	// Two terminals remain: nv and the uncovered one.
+	if got := s.LiveTerminals(); len(got) != 2 {
+		t.Errorf("live terminals = %v", got)
+	}
+}
+
+func TestSolveFig1(t *testing.T) {
+	in := fig1Instance()
+	for name, oracle := range map[string]Oracle{"kr": KleinRaviOracle, "branch": BranchSpiderOracle} {
+		sol, ok := Solve(in, oracle)
+		if !ok {
+			t.Fatalf("%s: no solution", name)
+		}
+		// Optimal solution: terminals + nodes {4} (spider Sp1, cost 3)
+		// or {2,3}+{4} (cost 6) depending on greedy path; exact optimum
+		// is 3 (all terminals through node 4 alone... node 4 connects
+		// t1, t5, t6; t7 needs node2 or node3, so OPT = 3 + 1.5 = 4.5).
+		opt, okx := ExactSmall(in, 10)
+		if !okx {
+			t.Fatal("exact failed")
+		}
+		if math.Abs(opt-4.5) > 1e-12 {
+			t.Fatalf("exact = %g want 4.5", opt)
+		}
+		if sol.Cost < opt-1e-9 {
+			t.Fatalf("%s: solution %g beats optimum %g", name, sol.Cost, opt)
+		}
+		// ln(4) ≈ 1.39; allow the full 2·ln k factor.
+		if sol.Cost > opt*2*math.Log(4)+1e-9 {
+			t.Fatalf("%s: solution %g exceeds 2 ln k bound (opt %g)", name, sol.Cost, opt)
+		}
+		// The node set must connect the terminals.
+		edges := SpanningTree(in.G, sol.Nodes, in.Terminals[0])
+		if len(edges) != len(sol.Nodes)-1 {
+			t.Fatalf("%s: chosen nodes do not induce a connected subgraph", name)
+		}
+	}
+}
+
+func TestFreeTerminalsExcludedFromRatio(t *testing.T) {
+	in := fig1Instance()
+	in.Free = []bool{true, false, false, false} // t1 becomes the source
+	s := NewState(in)
+	if got := s.PayingTerminals(); len(got) != 3 {
+		t.Fatalf("paying = %v", got)
+	}
+	if !s.IsFree(0) {
+		t.Error("t1 should be free")
+	}
+	if s.Constituents(0) != nil {
+		t.Error("free terminal must have no constituents")
+	}
+	sp, ok := KleinRaviOracle(s, 2)
+	if !ok {
+		t.Fatal("no spider")
+	}
+	// Ratio must divide by paying terminals only.
+	var cost float64
+	for _, v := range sp.Nodes {
+		cost += s.Weight(v)
+	}
+	if math.Abs(sp.Ratio-cost/float64(sp.Paying)) > 1e-12 {
+		t.Errorf("ratio %g inconsistent with cost %g / paying %d", sp.Ratio, cost, sp.Paying)
+	}
+}
+
+func TestDropTerminal(t *testing.T) {
+	s := NewState(fig1Instance())
+	s.DropTerminal(0)
+	if s.IsTerminal(0) || s.Constituents(0) != nil {
+		t.Error("DropTerminal did not clear state")
+	}
+	if got := s.LiveTerminals(); len(got) != 3 {
+		t.Errorf("live = %v", got)
+	}
+}
+
+// randomInstance builds a connected random node-weighted instance.
+func randomInstance(rng *rand.Rand, n, k int) Instance {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 0) // random tree keeps it connected
+	}
+	extra := n / 2
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 0)
+		}
+	}
+	w := make([]float64, n)
+	perm := rng.Perm(n)
+	terms := perm[:k]
+	isTerm := make([]bool, n)
+	for _, t := range terms {
+		isTerm[t] = true
+	}
+	for v := 0; v < n; v++ {
+		if !isTerm[v] {
+			w[v] = rng.Float64()*4 + 0.1
+		}
+	}
+	return Instance{G: g, Weights: w, Terminals: terms}
+}
+
+// Property: both oracles yield solutions within the 2 ln k guarantee of
+// the exact optimum on random instances, and never below it.
+func TestSolveApproximationRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(8)
+		k := 3 + rng.Intn(3)
+		if k >= n {
+			k = n - 1
+		}
+		in := randomInstance(rng, n, k)
+		opt, ok := ExactSmall(in, 18)
+		if !ok {
+			t.Fatalf("trial %d: exact failed", trial)
+		}
+		for name, oracle := range map[string]Oracle{"kr": KleinRaviOracle, "branch": BranchSpiderOracle} {
+			sol, ok := Solve(in, oracle)
+			if !ok {
+				t.Fatalf("trial %d %s: no solution", trial, name)
+			}
+			if sol.Cost < opt-1e-9 {
+				t.Fatalf("trial %d %s: %g beats optimum %g", trial, name, sol.Cost, opt)
+			}
+			bound := opt * (1 + 2*math.Log(float64(k)))
+			if sol.Cost > bound+1e-9 {
+				t.Fatalf("trial %d %s: %g exceeds bound %g (opt %g, k=%d)",
+					trial, name, sol.Cost, bound, opt, k)
+			}
+			edges := SpanningTree(in.G, sol.Nodes, in.Terminals[0])
+			if len(edges) != len(sol.Nodes)-1 {
+				t.Fatalf("trial %d %s: solution disconnected", trial, name)
+			}
+		}
+	}
+}
+
+func TestExactSmallGuard(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(1)), 25, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExactSmall(in, 5)
+}
+
+func TestExactSmallSingleTerminal(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 0)
+	in := Instance{G: g, Weights: []float64{2, 1, 1}, Terminals: []int{0}}
+	c, ok := ExactSmall(in, 5)
+	if !ok || c != 2 {
+		t.Errorf("got %g ok=%v", c, ok)
+	}
+}
+
+func TestSolveDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(2, 3, 0)
+	in := Instance{G: g, Weights: []float64{0, 0, 0, 0}, Terminals: []int{0, 2}}
+	if _, ok := Solve(in, KleinRaviOracle); ok {
+		t.Error("disconnected terminals should fail")
+	}
+}

@@ -1,0 +1,327 @@
+// Package nwstmech implements the §2.2.2 strategyproof cost-sharing
+// mechanism for the non-cooperative node-weighted Steiner tree problem:
+// repeatedly pick the minimum-ratio spider; if every covered terminal can
+// pay the ratio, charge it and shrink; otherwise drop the agents that
+// cannot afford their slice and restart from scratch. Super-terminal
+// utilities follow Eq. (5): v_t = |T_Sp| · min_{t'∈T_Sp}(v_{t'} − c_{t'}).
+//
+// Faithfulness note: the published drop rule compares residual budgets to
+// v_t/|N⁺_t|, which would make never-charged terminals undroppable and
+// contradicts the paper's own Fig. 1 walkthrough; we use the threshold
+// ratio(Sp)/|N⁺_t| that makes the walkthrough come out exactly (see
+// DESIGN.md §3.2). The mechanism is β(k)-BB for whatever ratio guarantee
+// the configured spider oracle provides (Theorem 2.2's argument is
+// oracle-agnostic). It is deliberately *not* group strategyproof, which
+// experiment E4 demonstrates by replaying Fig. 1.
+//
+// Reproduction finding F3 (see EXPERIMENTS.md): Theorem 2.3's
+// strategyproofness claim has a gap. When a failing spider covers several
+// simultaneously-unaffordable terminals, they drop together, and the
+// restarted run can build a structurally cheaper solution; an agent can
+// over-report, outlive a competitor's drop, and pay a share below its
+// true utility. TestMultiDropSPCounterexample pins a concrete instance;
+// the proof step "c_i(v) ≤ u_i by VP" only bounds shares by the
+// *reported* utility. Single-agent deviations are still unprofitable on
+// the overwhelming majority of sampled instances (experiments E5/E6).
+package nwstmech
+
+import (
+	"math"
+	"sort"
+
+	"wmcs/internal/mech"
+	"wmcs/internal/nwst"
+)
+
+// Mechanism is the §2.2.2 NWST cost-sharing mechanism.
+type Mechanism struct {
+	inst   nwst.Instance
+	oracle nwst.Oracle
+	agents []int
+}
+
+// eps absorbs floating-point noise in budget comparisons.
+const eps = 1e-9
+
+// New builds the mechanism for an NWST instance. Paying terminals are the
+// agents; free terminals (the wireless source) are always connected and
+// never charged.
+func New(inst nwst.Instance, oracle nwst.Oracle) *Mechanism {
+	inst.Validate()
+	if oracle == nil {
+		oracle = nwst.BranchSpiderOracle
+	}
+	m := &Mechanism{inst: inst, oracle: oracle}
+	for ti, t := range inst.Terminals {
+		if inst.Free == nil || !inst.Free[ti] {
+			m.agents = append(m.agents, t)
+		}
+	}
+	sort.Ints(m.agents)
+	return m
+}
+
+// Name implements mech.Mechanism.
+func (m *Mechanism) Name() string { return "nwst-spider" }
+
+// Agents implements mech.Mechanism: the paying terminal node ids.
+func (m *Mechanism) Agents() []int { return append([]int(nil), m.agents...) }
+
+// Result bundles the mechanism outcome with the chosen host-graph nodes,
+// which the wireless mechanism needs to realize the multicast tree.
+type Result struct {
+	Outcome mech.Outcome
+	Nodes   []int // selected host nodes (terminals included), sorted
+}
+
+// Run implements mech.Mechanism.
+func (m *Mechanism) Run(u mech.Profile) mech.Outcome { return m.RunDetailed(u).Outcome }
+
+// RunDetailed executes the mechanism and also reports the chosen nodes.
+func (m *Mechanism) RunDetailed(u mech.Profile) Result {
+	active := map[int]bool{}
+	for _, a := range m.agents {
+		active[a] = true
+	}
+	var freeTerms []int
+	for ti, t := range m.inst.Terminals {
+		if m.inst.Free != nil && m.inst.Free[ti] {
+			freeTerms = append(freeTerms, t)
+		}
+	}
+	for {
+		res, droppedAgents, ok := m.attempt(u, active, freeTerms)
+		if ok {
+			return res
+		}
+		if len(droppedAgents) == 0 {
+			// Defensive: guarantee progress even under numerical ties.
+			return Result{Outcome: mech.Outcome{Shares: map[int]float64{}}}
+		}
+		for _, x := range droppedAgents {
+			delete(active, x)
+		}
+		if len(active) == 0 {
+			return Result{Outcome: mech.Outcome{Shares: map[int]float64{}}}
+		}
+	}
+}
+
+// attempt runs one full pass with the given active agent set. It returns
+// ok=false with the agents to drop when some spider is unaffordable.
+func (m *Mechanism) attempt(u mech.Profile, active map[int]bool, freeTerms []int) (Result, []int, bool) {
+	var terms []int
+	var free []bool
+	for _, t := range freeTerms {
+		terms = append(terms, t)
+		free = append(free, true)
+	}
+	var sortedActive []int
+	for a := range active {
+		sortedActive = append(sortedActive, a)
+	}
+	sort.Ints(sortedActive)
+	for _, a := range sortedActive {
+		terms = append(terms, a)
+		free = append(free, false)
+	}
+	st := nwst.NewState(nwst.Instance{G: m.inst.G, Weights: m.inst.Weights, Terminals: terms, Free: free})
+
+	shares := map[int]float64{}
+	vt := map[int]float64{} // super-terminal utilities (Eq. 5)
+	chosen := map[int]bool{}
+	for _, t := range terms {
+		chosen[t] = true
+	}
+	// value returns the utility bound of a live covered terminal.
+	value := func(t int) float64 {
+		if st.IsFree(t) {
+			return math.Inf(1)
+		}
+		if t < st.N0() {
+			return u[t]
+		}
+		return vt[t]
+	}
+	sumShares := func(t int) float64 {
+		var s float64
+		for _, x := range st.Constituents(t) {
+			s += shares[x]
+		}
+		return s
+	}
+	accept := func(sp nwst.Spider) ([]int, bool) {
+		var drop []int
+		for _, t := range sp.Terms {
+			if st.IsFree(t) {
+				continue
+			}
+			if value(t) >= sp.Ratio-eps {
+				continue
+			}
+			// Terminal t cannot pay; mark the constituents below the
+			// per-member threshold ratio/|N⁺_t| for removal.
+			cons := st.Constituents(t)
+			if t < st.N0() {
+				cons = []int{t}
+			}
+			thr := sp.Ratio / float64(len(cons))
+			worst, worstResid := -1, math.Inf(1)
+			for _, x := range cons {
+				resid := u[x] - shares[x]
+				if resid < thr-eps {
+					drop = append(drop, x)
+				}
+				if resid < worstResid {
+					worst, worstResid = x, resid
+				}
+			}
+			if len(drop) == 0 && worst >= 0 {
+				drop = append(drop, worst) // numerical-tie fallback
+			}
+		}
+		if len(drop) > 0 {
+			sort.Ints(drop)
+			return drop, false
+		}
+		return nil, true
+	}
+	charge := func(sp nwst.Spider) {
+		for _, t := range sp.Terms {
+			if st.IsFree(t) {
+				continue
+			}
+			if t < st.N0() {
+				shares[t] = sp.Ratio
+				continue
+			}
+			cons := st.Constituents(t)
+			slice := sp.Ratio / float64(len(cons))
+			for _, x := range cons {
+				shares[x] += slice
+			}
+		}
+	}
+	record := func(nodes []int) {
+		for _, v := range nodes {
+			if v < st.N0() {
+				chosen[v] = true
+			}
+		}
+	}
+	newVT := func(sp nwst.Spider) float64 {
+		minResid := math.Inf(1)
+		paying := 0
+		for _, t := range sp.Terms {
+			if st.IsFree(t) {
+				continue
+			}
+			paying++
+			var resid float64
+			if t < st.N0() {
+				resid = u[t] - shares[t]
+			} else {
+				resid = vt[t] - sumShares(t)
+			}
+			if resid < minResid {
+				minResid = resid
+			}
+		}
+		if paying == 0 {
+			return math.Inf(1)
+		}
+		return float64(paying) * minResid
+	}
+
+	for {
+		live := st.LiveTerminals()
+		if len(live) <= 1 {
+			break
+		}
+		var sp nwst.Spider
+		if len(live) == 2 {
+			path, cost := st.PathBetween(live[0], live[1])
+			if math.IsInf(cost, 1) {
+				return Result{}, nil, false // disconnected: give up
+			}
+			sp = spiderFromPath(st, path)
+		} else {
+			minCover := len(st.PayingTerminals())
+			if minCover > 3 {
+				minCover = 3
+			}
+			var ok bool
+			sp, ok = m.oracle(st, minCover)
+			if !ok {
+				return Result{}, nil, false
+			}
+		}
+		drop, ok := accept(sp)
+		if !ok {
+			return Result{}, drop, false
+		}
+		charge(sp)
+		record(sp.Nodes)
+		// The residuals in Eq. (5) use the post-charge shares, but vt of
+		// covered super-terminals must be read before Shrink retires them.
+		newUtility := newVT(sp)
+		nv := st.Shrink(sp)
+		vt[nv] = newUtility
+		if len(live) == 2 {
+			break
+		}
+	}
+	var nodes []int
+	var cost float64
+	for v := range chosen {
+		nodes = append(nodes, v)
+		cost += m.inst.Weights[v]
+	}
+	sort.Ints(nodes)
+	receivers := make([]int, 0, len(active))
+	for a := range active {
+		receivers = append(receivers, a)
+	}
+	sort.Ints(receivers)
+	sharesOut := make(map[int]float64, len(receivers))
+	for _, r := range receivers {
+		sharesOut[r] = shares[r]
+	}
+	return Result{
+		Outcome: mech.Outcome{Receivers: receivers, Shares: sharesOut, Cost: cost},
+		Nodes:   nodes,
+	}, nil, true
+}
+
+// spiderFromPath builds the final "connect the last two terminals
+// optimally" step as a degenerate spider so the accept/charge logic is
+// shared.
+func spiderFromPath(st *nwst.State, path []int) nwst.Spider {
+	var cost float64
+	var terms []int
+	paying := 0
+	for _, v := range path {
+		cost += st.Weight(v)
+		if st.IsTerminal(v) {
+			terms = append(terms, v)
+			if !st.IsFree(v) {
+				paying++
+			}
+		}
+	}
+	sort.Ints(terms)
+	ratio := math.Inf(1)
+	if paying > 0 {
+		ratio = cost / float64(paying)
+	}
+	nodes := append([]int(nil), path...)
+	sort.Ints(nodes)
+	return nwst.Spider{
+		Center: path[0],
+		Nodes:  nodes,
+		Terms:  terms,
+		Paying: paying,
+		Cost:   cost,
+		Ratio:  ratio,
+	}
+}

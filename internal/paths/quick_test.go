@@ -1,0 +1,78 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wmcs/internal/graph"
+)
+
+// Property: shortest-path distances satisfy the relaxation inequality
+// d(s, v) ≤ d(s, u) + w(u, v) on every edge, and d(s, s) = 0.
+func TestQuickDijkstraRelaxed(t *testing.T) {
+	f := func(seed uint16, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + int(n8)%10
+		g := graph.New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), rng.Float64()*5+0.01)
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, rng.Float64()*5+0.01)
+			}
+		}
+		tr := Dijkstra(g, 0)
+		if tr.Dist[0] != 0 {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if tr.Dist[e.To] > tr.Dist[e.From]+e.W+1e-9 {
+				return false
+			}
+			if tr.Dist[e.From] > tr.Dist[e.To]+e.W+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every tree path's length equals the reported distance.
+func TestQuickPathLengthsMatchDistances(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 3 + rng.Intn(9)
+		g := graph.New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), rng.Float64()*5+0.01)
+		}
+		tr := Dijkstra(g, 0)
+		for v := 0; v < n; v++ {
+			path := tr.PathTo(v)
+			var sum float64
+			for i := 0; i+1 < len(path); i++ {
+				// Find the cheapest edge between consecutive path nodes.
+				best := 1e308
+				for _, e := range g.Neighbors(path[i]) {
+					if e.To == path[i+1] && e.W < best {
+						best = e.W
+					}
+				}
+				sum += best
+			}
+			if len(path) > 0 && (sum-tr.Dist[v] > 1e-9 || tr.Dist[v]-sum > 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package sharing
+
+import (
+	"sort"
+)
+
+// Incremental is the marginal-vector ("incremental") cost-sharing method
+// of Moulin–Shenker [37]: fix a priority order over the agents; each
+// member of R pays its marginal cost with respect to the lower-priority
+// members of R already counted:
+//
+//	ξ(R, i) = C({j ∈ R : j ⪯ i}) − C({j ∈ R : j ≺ i}).
+//
+// For non-decreasing submodular C the method is budget balanced and
+// cross-monotonic (submodularity makes marginals shrink as sets grow), so
+// M(ξ) is a group-strategyproof BB mechanism — but unlike the Shapley
+// value it treats agents asymmetrically, and [38] proves the Shapley
+// value uniquely minimizes the worst-case efficiency loss in this class.
+// Ablation A4 measures that gap empirically.
+type Incremental struct {
+	order []int // agents by priority, highest first charged last
+	pos   map[int]int
+	cost  CostFunc
+}
+
+// NewIncremental builds the method for the given priority order (earlier
+// agents are charged their marginal first).
+func NewIncremental(order []int, cost CostFunc) *Incremental {
+	inc := &Incremental{
+		order: append([]int(nil), order...),
+		pos:   make(map[int]int, len(order)),
+		cost:  cost,
+	}
+	for i, a := range inc.order {
+		inc.pos[a] = i
+	}
+	return inc
+}
+
+// Shares implements Method.
+func (inc *Incremental) Shares(R []int) map[int]float64 {
+	members := append([]int(nil), R...)
+	sort.Slice(members, func(a, b int) bool { return inc.pos[members[a]] < inc.pos[members[b]] })
+	shares := make(map[int]float64, len(members))
+	prefix := make([]int, 0, len(members))
+	prev := 0.0
+	for _, i := range members {
+		prefix = append(prefix, i)
+		c := inc.cost(prefix)
+		shares[i] = c - prev
+		prev = c
+	}
+	return shares
+}

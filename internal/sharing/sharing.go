@@ -1,0 +1,290 @@
+// Package sharing implements cost-sharing methods and the Moulin–Shenker
+// mechanism template M(ξ) (§1.1 of the paper): a cost-sharing method ξ
+// distributes C(R) among the members of R; if ξ is cross-monotonic then
+// M(ξ) — iteratively dropping agents whose reported utility is below
+// their current share — is budget balanced, group strategyproof and meets
+// NPT, VP and CS [37,38]. The package provides an exact Shapley-value
+// method for arbitrary cost oracles (≤ ~20 agents), property checkers for
+// cross-monotonicity and submodularity, and the M(ξ) driver.
+package sharing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wmcs/internal/mech"
+)
+
+// CostFunc is a cost oracle over agent subsets: C(R) with C(∅) = 0.
+// Implementations must be symmetric in the order of R.
+type CostFunc func(R []int) float64
+
+// Method is a cost-sharing method ξ: Shares(R) distributes a cost among
+// the members of R (agents outside R get no entry).
+type Method interface {
+	// Shares returns ξ(R, ·) for every member of R.
+	Shares(R []int) map[int]float64
+}
+
+// MethodFunc adapts a function to the Method interface.
+type MethodFunc func(R []int) map[int]float64
+
+// Shares implements Method.
+func (f MethodFunc) Shares(R []int) map[int]float64 { return f(R) }
+
+// Shapley is the exact Shapley-value cost-sharing method for an arbitrary
+// cost oracle, computed by subset enumeration with memoized cost queries:
+//
+//	φ(R, i) = Σ_{Q ⊆ R\{i}} |Q|!(|R|−|Q|−1)!/|R|! · (C(Q∪{i}) − C(Q)).
+//
+// For non-decreasing submodular C it is cross-monotonic and budget
+// balanced [38,47]. Practical for |R| ≤ ~18.
+type Shapley struct {
+	agents []int
+	bit    map[int]uint
+	cost   CostFunc
+	cache  map[uint64]float64
+	fact   []float64
+}
+
+// NewShapley builds the method over a fixed agent universe (≤ 63 agents).
+func NewShapley(agents []int, cost CostFunc) *Shapley {
+	if len(agents) > 63 {
+		panic("sharing: Shapley limited to 63 agents")
+	}
+	s := &Shapley{
+		agents: append([]int(nil), agents...),
+		bit:    make(map[int]uint, len(agents)),
+		cost:   cost,
+		cache:  map[uint64]float64{},
+		fact:   make([]float64, len(agents)+2),
+	}
+	sort.Ints(s.agents)
+	for idx, a := range s.agents {
+		s.bit[a] = uint(idx)
+	}
+	s.fact[0] = 1
+	for i := 1; i < len(s.fact); i++ {
+		s.fact[i] = s.fact[i-1] * float64(i)
+	}
+	return s
+}
+
+// costOf returns C of the subset encoded by mask, memoized.
+func (s *Shapley) costOf(mask uint64) float64 {
+	if mask == 0 {
+		return 0
+	}
+	if c, ok := s.cache[mask]; ok {
+		return c
+	}
+	var R []int
+	for idx, a := range s.agents {
+		if mask&(1<<uint(idx)) != 0 {
+			R = append(R, a)
+		}
+	}
+	c := s.cost(R)
+	s.cache[mask] = c
+	return c
+}
+
+// Shares implements Method. It panics if |R| > 20 (2^|R| enumeration).
+func (s *Shapley) Shares(R []int) map[int]float64 {
+	k := len(R)
+	if k == 0 {
+		return map[int]float64{}
+	}
+	if k > 20 {
+		panic(fmt.Sprintf("sharing: Shapley.Shares limited to 20 agents, got %d", k))
+	}
+	// Local bit positions within R for subset enumeration.
+	full := uint64(0)
+	local := make([]uint64, k) // local[i] = universe mask bit of R[i]
+	for i, a := range R {
+		b, ok := s.bit[a]
+		if !ok {
+			panic(fmt.Sprintf("sharing: agent %d not in universe", a))
+		}
+		local[i] = 1 << b
+		full |= local[i]
+	}
+	shares := make(map[int]float64, k)
+	// Enumerate subsets Q of R by local mask; weight depends on |Q|.
+	kf := s.fact[k]
+	for lm := uint64(0); lm < 1<<uint(k); lm++ {
+		var qMask uint64
+		qSize := 0
+		for i := 0; i < k; i++ {
+			if lm&(1<<uint(i)) != 0 {
+				qMask |= local[i]
+				qSize++
+			}
+		}
+		if qSize == k {
+			continue
+		}
+		w := s.fact[qSize] * s.fact[k-qSize-1] / kf
+		cq := s.costOf(qMask)
+		for i := 0; i < k; i++ {
+			if lm&(1<<uint(i)) != 0 {
+				continue // i ∈ Q
+			}
+			marginal := s.costOf(qMask|local[i]) - cq
+			shares[R[i]] += w * marginal
+		}
+	}
+	return shares
+}
+
+// MoulinShenkerResult is the outcome of the M(ξ) iteration.
+type MoulinShenkerResult struct {
+	Receivers []int
+	Shares    map[int]float64
+	Rounds    int
+}
+
+// MoulinShenker runs the mechanism template M(ξ): start from all agents;
+// while some agent's share exceeds its reported utility, drop all such
+// agents and recompute. For cross-monotonic ξ the surviving set is the
+// unique largest set where everyone can pay [37].
+func MoulinShenker(agents []int, xi Method, u mech.Profile) MoulinShenkerResult {
+	R := append([]int(nil), agents...)
+	sort.Ints(R)
+	rounds := 0
+	for {
+		rounds++
+		shares := xi.Shares(R)
+		var keep []int
+		for _, i := range R {
+			if u[i] >= shares[i]-mech.Eps {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == len(R) {
+			return MoulinShenkerResult{Receivers: R, Shares: shares, Rounds: rounds}
+		}
+		R = keep
+		if len(R) == 0 {
+			return MoulinShenkerResult{Receivers: nil, Shares: map[int]float64{}, Rounds: rounds}
+		}
+	}
+}
+
+// CheckCrossMonotone samples subset pairs Q ⊆ R of the agent set and
+// verifies ξ(Q, i) ≥ ξ(R, i) for all i ∈ Q. Returns the first violation.
+func CheckCrossMonotone(xi Method, agents []int, rng *rand.Rand, samples int, eps float64) error {
+	n := len(agents)
+	if n == 0 {
+		return nil
+	}
+	for t := 0; t < samples; t++ {
+		var R, Q []int
+		for _, a := range agents {
+			switch rng.Intn(3) {
+			case 0: // in both
+				R = append(R, a)
+				Q = append(Q, a)
+			case 1: // only in R
+				R = append(R, a)
+			}
+		}
+		if len(Q) == 0 || len(Q) == len(R) {
+			continue
+		}
+		sr := xi.Shares(R)
+		sq := xi.Shares(Q)
+		for _, i := range Q {
+			if sq[i] < sr[i]-eps {
+				return fmt.Errorf("cross-monotonicity violated: agent %d pays %g in Q=%v but %g in R=%v",
+					i, sq[i], Q, sr[i], R)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckBudgetBalanced samples subsets and verifies Σ_i ξ(R, i) = C(R)
+// within eps.
+func CheckBudgetBalanced(xi Method, cost CostFunc, agents []int, rng *rand.Rand, samples int, eps float64) error {
+	for t := 0; t < samples; t++ {
+		var R []int
+		for _, a := range agents {
+			if rng.Intn(2) == 0 {
+				R = append(R, a)
+			}
+		}
+		if len(R) == 0 {
+			continue
+		}
+		var tot float64
+		for _, c := range xi.Shares(R) {
+			tot += c
+		}
+		if want := cost(R); tot < want-eps || tot > want+eps {
+			return fmt.Errorf("budget balance violated on R=%v: shares %g, cost %g", R, tot, want)
+		}
+	}
+	return nil
+}
+
+// CheckSubmodular samples subset pairs and verifies monotonicity
+// (Q ⊆ R ⇒ C(Q) ≤ C(R)) and submodularity
+// (C(Q∪R) + C(Q∩R) ≤ C(Q) + C(R)).
+func CheckSubmodular(cost CostFunc, agents []int, rng *rand.Rand, samples int, eps float64) error {
+	for t := 0; t < samples; t++ {
+		var q, r []int
+		var union, inter []int
+		for _, a := range agents {
+			inQ, inR := rng.Intn(2) == 0, rng.Intn(2) == 0
+			if inQ {
+				q = append(q, a)
+			}
+			if inR {
+				r = append(r, a)
+			}
+			if inQ || inR {
+				union = append(union, a)
+			}
+			if inQ && inR {
+				inter = append(inter, a)
+			}
+		}
+		cq, cr := cost(q), cost(r)
+		cu, ci := cost(union), cost(inter)
+		if cu+ci > cq+cr+eps {
+			return fmt.Errorf("submodularity violated: C(Q∪R)+C(Q∩R)=%g > C(Q)+C(R)=%g (Q=%v R=%v)",
+				cu+ci, cq+cr, q, r)
+		}
+		if ci > cq+eps || ci > cr+eps || cq > cu+eps || cr > cu+eps {
+			return fmt.Errorf("monotonicity violated (Q=%v R=%v)", q, r)
+		}
+	}
+	return nil
+}
+
+// MechanismFromMethod wraps M(ξ) as a mech.Mechanism with the given cost
+// oracle determining the reported outcome cost C(R(u)).
+type MechanismFromMethod struct {
+	MechName string
+	AgentSet []int
+	Xi       Method
+	Cost     CostFunc
+}
+
+// Name implements mech.Mechanism.
+func (m *MechanismFromMethod) Name() string { return m.MechName }
+
+// Agents implements mech.Mechanism.
+func (m *MechanismFromMethod) Agents() []int { return m.AgentSet }
+
+// Run implements mech.Mechanism.
+func (m *MechanismFromMethod) Run(u mech.Profile) mech.Outcome {
+	res := MoulinShenker(m.AgentSet, m.Xi, u)
+	return mech.Outcome{
+		Receivers: res.Receivers,
+		Shares:    res.Shares,
+		Cost:      m.Cost(res.Receivers),
+	}
+}

@@ -1,0 +1,261 @@
+package sharing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/mech"
+)
+
+// airportCost is the classic airport game: C(R) = max_{i∈R} c_i.
+// It is non-decreasing and submodular; Shapley shares have the known
+// closed form (runway increments split among larger players).
+func airportCost(c []float64) CostFunc {
+	return func(R []int) float64 {
+		var m float64
+		for _, i := range R {
+			if c[i] > m {
+				m = c[i]
+			}
+		}
+		return m
+	}
+}
+
+func TestShapleyAirportClosedForm(t *testing.T) {
+	c := []float64{1, 2, 3}
+	sh := NewShapley([]int{0, 1, 2}, airportCost(c))
+	got := sh.Shares([]int{0, 1, 2})
+	want := map[int]float64{0: 1.0 / 3, 1: 1.0/3 + 0.5, 2: 1.0/3 + 0.5 + 1}
+	for i, w := range want {
+		if math.Abs(got[i]-w) > 1e-9 {
+			t.Errorf("share[%d] = %g want %g", i, got[i], w)
+		}
+	}
+	var tot float64
+	for _, v := range got {
+		tot += v
+	}
+	if math.Abs(tot-3) > 1e-9 {
+		t.Errorf("total = %g want C(R)=3", tot)
+	}
+}
+
+func TestShapleySymmetricGame(t *testing.T) {
+	cost := func(R []int) float64 { return float64(len(R)) }
+	sh := NewShapley([]int{0, 1, 2, 3}, cost)
+	got := sh.Shares([]int{0, 1, 2, 3})
+	for i, v := range got {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("share[%d] = %g want 1", i, v)
+		}
+	}
+}
+
+func TestShapleyEmptyAndSubsets(t *testing.T) {
+	sh := NewShapley([]int{3, 7}, func(R []int) float64 { return float64(len(R)) * 2 })
+	if got := sh.Shares(nil); len(got) != 0 {
+		t.Error("empty R should have no shares")
+	}
+	got := sh.Shares([]int{7})
+	if math.Abs(got[7]-2) > 1e-9 {
+		t.Errorf("singleton share = %g", got[7])
+	}
+}
+
+func TestShapleyBudgetBalanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := make([]float64, 6)
+	for i := range c {
+		c[i] = rng.Float64() * 10
+	}
+	agents := []int{0, 1, 2, 3, 4, 5}
+	sh := NewShapley(agents, airportCost(c))
+	if err := CheckBudgetBalanced(sh, airportCost(c), agents, rng, 100, 1e-7); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapleyCrossMonotoneOnSubmodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := make([]float64, 6)
+	for i := range c {
+		c[i] = rng.Float64() * 10
+	}
+	agents := []int{0, 1, 2, 3, 4, 5}
+	sh := NewShapley(agents, airportCost(c))
+	if err := CheckCrossMonotone(sh, agents, rng, 200, 1e-7); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckCrossMonotoneCatchesViolation(t *testing.T) {
+	// Anti-monotone method: shares grow with the set, so a member of a
+	// smaller Q pays less than in R ⊇ Q — the opposite of
+	// cross-monotonicity's ξ(Q, i) ≥ ξ(R, i).
+	bad := MethodFunc(func(R []int) map[int]float64 {
+		out := map[int]float64{}
+		for _, i := range R {
+			out[i] = float64(len(R))
+		}
+		return out
+	})
+	rng := rand.New(rand.NewSource(7))
+	if err := CheckCrossMonotone(bad, []int{0, 1, 2, 3}, rng, 200, 1e-9); err == nil {
+		t.Error("violation missed")
+	}
+}
+
+func TestCheckSubmodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	agents := []int{0, 1, 2, 3}
+	if err := CheckSubmodular(airportCost([]float64{1, 2, 3, 4}), agents, rng, 200, 1e-9); err != nil {
+		t.Errorf("airport game flagged: %v", err)
+	}
+	super := func(R []int) float64 { return float64(len(R) * len(R)) }
+	if err := CheckSubmodular(super, agents, rng, 200, 1e-9); err == nil {
+		t.Error("superadditive cost passed")
+	}
+	nonMono := func(R []int) float64 { return 5 - float64(len(R)) }
+	if err := CheckSubmodular(nonMono, agents, rng, 200, 1e-9); err == nil {
+		t.Error("non-monotone cost passed")
+	}
+}
+
+func TestMoulinShenkerAirport(t *testing.T) {
+	c := []float64{1, 2, 3}
+	agents := []int{0, 1, 2}
+	sh := NewShapley(agents, airportCost(c))
+	u := mech.Profile{0.2, 1, 5}
+	res := MoulinShenker(agents, sh, u)
+	if len(res.Receivers) != 2 || res.Receivers[0] != 1 || res.Receivers[1] != 2 {
+		t.Fatalf("receivers = %v", res.Receivers)
+	}
+	// On {1,2}: increments 2 shared by both (1 each), then 1 paid by 2.
+	if math.Abs(res.Shares[1]-1) > 1e-9 || math.Abs(res.Shares[2]-2) > 1e-9 {
+		t.Errorf("shares = %v", res.Shares)
+	}
+	if res.Rounds < 2 {
+		t.Errorf("expected at least 2 rounds, got %d", res.Rounds)
+	}
+}
+
+func TestMoulinShenkerAllDrop(t *testing.T) {
+	c := []float64{5, 5}
+	sh := NewShapley([]int{0, 1}, airportCost(c))
+	res := MoulinShenker([]int{0, 1}, sh, mech.Profile{0.1, 0.1})
+	if len(res.Receivers) != 0 {
+		t.Errorf("receivers = %v", res.Receivers)
+	}
+}
+
+func TestMechanismFromMethodAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := []float64{1, 2, 3, 4}
+	agents := []int{0, 1, 2, 3}
+	cost := airportCost(c)
+	m := &MechanismFromMethod{
+		MechName: "shapley-airport",
+		AgentSet: agents,
+		Xi:       NewShapley(agents, cost),
+		Cost:     cost,
+	}
+	if m.Name() != "shapley-airport" || len(m.Agents()) != 4 {
+		t.Fatal("metadata wrong")
+	}
+	for trial := 0; trial < 20; trial++ {
+		u := mech.RandomProfile(rng, 4, 5)
+		o := m.Run(u)
+		if err := mech.CheckAll(u, o); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Exact budget balance for Shapley on submodular C.
+		if math.Abs(o.TotalShares()-o.Cost) > 1e-7 {
+			t.Fatalf("trial %d: shares %g != cost %g", trial, o.TotalShares(), o.Cost)
+		}
+	}
+	// Group strategyproofness (sampled): Moulin–Shenker with
+	// cross-monotonic ξ is GSP [37].
+	truth := mech.Profile{0.5, 1.5, 2.5, 3.5}
+	if err := mech.CheckStrategyproof(m, truth, nil); err != nil {
+		t.Error(err)
+	}
+	if err := mech.CheckGroupStrategyproof(m, truth, rng, 300, nil); err != nil {
+		t.Error(err)
+	}
+	if err := mech.CheckCS(m, truth, 1e6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapleyPanicsOutsideUniverse(t *testing.T) {
+	sh := NewShapley([]int{0, 1}, func(R []int) float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sh.Shares([]int{5})
+}
+
+// Property: Shapley equals the average marginal contribution over all
+// permutations (direct definition) on small random games.
+func TestShapleyMatchesPermutationDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(4)
+		// Random monotone cost: C(R) = max of random singleton values plus
+		// a concave size term.
+		vals := make([]float64, k)
+		for i := range vals {
+			vals[i] = rng.Float64() * 5
+		}
+		cost := func(R []int) float64 {
+			var m float64
+			for _, i := range R {
+				if vals[i] > m {
+					m = vals[i]
+				}
+			}
+			return m + math.Sqrt(float64(len(R)))
+		}
+		agents := make([]int, k)
+		for i := range agents {
+			agents[i] = i
+		}
+		sh := NewShapley(agents, cost)
+		got := sh.Shares(agents)
+		// Permutation average.
+		want := make([]float64, k)
+		perm := make([]int, k)
+		var rec func(depth int, used uint, count *int)
+		nperm := 0
+		rec = func(depth int, used uint, _ *int) {
+			if depth == k {
+				nperm++
+				var pre []int
+				for _, i := range perm {
+					with := cost(append(pre, i))
+					without := cost(pre)
+					want[i] += with - without
+					pre = append(pre, i)
+				}
+				return
+			}
+			for i := 0; i < k; i++ {
+				if used&(1<<uint(i)) == 0 {
+					perm[depth] = i
+					rec(depth+1, used|1<<uint(i), nil)
+				}
+			}
+		}
+		rec(0, 0, nil)
+		for i := 0; i < k; i++ {
+			want[i] /= float64(nperm)
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				t.Fatalf("trial %d: share[%d] = %g want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 || math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("mean/median = %g/%g", s.Mean, s.Median)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("std = %g", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(sorted, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(sorted, 1); got != 5 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Quantile(sorted, 0.5); got != 3 {
+		t.Errorf("q0.5 = %g", got)
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("singleton = %g", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+	// Interpolation between 2 and 3 at q = 0.375.
+	if got := Quantile(sorted, 0.375); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("q0.375 = %g", got)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		2:       "2",
+		0.12345: "0.1235",
+		12345:   "1.23e+04",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%g) = %q want %q", in, got, want)
+		}
+	}
+	if F(math.Inf(1)) != "inf" || F(math.Inf(-1)) != "-inf" {
+		t.Error("infinities misformatted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "a", "bee")
+	tab.Add("1", "2")
+	tab.Add("333") // missing cell becomes blank
+	tab.Note("footnote %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "bee", "333", "note: footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Extra cells are dropped silently.
+	tab2 := NewTable("t", "only")
+	tab2.Add("x", "dropped")
+	if tab2.Rows[0][0] != "x" || len(tab2.Rows[0]) != 1 {
+		t.Error("row normalization wrong")
+	}
+}

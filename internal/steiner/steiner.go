@@ -1,0 +1,281 @@
+// Package steiner implements Steiner tree algorithms on edge-weighted
+// graphs: the Kou–Markowsky–Berman 2-approximation [34] and the exact
+// Dreyfus–Wagner dynamic program for small terminal sets. The paper uses
+// Steiner trees twice: as the comparator of the 2-BB Jain–Vazirani methods
+// (§3.2) and, in node-weighted form, inside the §2.2 mechanisms.
+package steiner
+
+import (
+	"math"
+	"sort"
+
+	"wmcs/internal/graph"
+	"wmcs/internal/mst"
+	"wmcs/internal/paths"
+)
+
+// Tree is a Steiner tree: a set of edges of the host graph connecting all
+// terminals, and its total weight.
+type Tree struct {
+	Edges []graph.Edge
+	Cost  float64
+}
+
+// KMB computes the Kou–Markowsky–Berman 2(1−1/k)-approximate Steiner tree
+// for the given terminals: MST of the terminal metric closure, expanded to
+// shortest paths, re-spanned and pruned. All terminals must be in one
+// connected component.
+func KMB(g *graph.Graph, terms []int) Tree {
+	if len(terms) == 0 {
+		return Tree{}
+	}
+	if len(terms) == 1 {
+		return Tree{}
+	}
+	closure, trees := paths.MetricClosure(g, terms)
+	closureMST := mst.PrimMatrix(closure, 0)
+	// Expand closure edges into shortest paths; collect unique host edges.
+	used := map[pair]float64{}
+	addPath(trees, closureMST, used)
+	// Build the expansion subgraph and take its MST.
+	sub := graph.New(g.N())
+	for p, w := range used {
+		sub.AddEdge(p.u, p.v, w)
+	}
+	// Prim from a terminal: expansion subgraph is connected by construction.
+	treeEdges := mst.Prim(sub, terms[0])
+	treeEdges = Prune(g.N(), treeEdges, terms)
+	return Tree{Edges: treeEdges, Cost: mst.Weight(treeEdges)}
+}
+
+// pair is an unordered vertex pair key (u < v).
+type pair struct{ u, v int }
+
+func addPath(trees []*paths.Tree, closureMST []graph.Edge, used map[pair]float64) {
+	for _, ce := range closureMST {
+		// ce connects terminal indices ce.From, ce.To in the closure; walk
+		// the shortest path in the tree rooted at terminal ce.From.
+		t := trees[ce.From]
+		target := trees[ce.To].Root
+		path := t.PathTo(target)
+		for i := 0; i+1 < len(path); i++ {
+			a, b := path[i], path[i+1]
+			w := t.Dist[path[i+1]] - t.Dist[path[i]]
+			if a > b {
+				a, b = b, a
+			}
+			if old, ok := used[pair{a, b}]; !ok || w < old {
+				used[pair{a, b}] = w
+			}
+		}
+	}
+}
+
+// Prune repeatedly removes non-terminal leaves from the edge set, leaving
+// a tree whose leaves are all terminals.
+func Prune(n int, edges []graph.Edge, terms []int) []graph.Edge {
+	isTerm := make([]bool, n)
+	for _, t := range terms {
+		isTerm[t] = true
+	}
+	deg := make([]int, n)
+	alive := make([]bool, len(edges))
+	for i, e := range edges {
+		alive[i] = true
+		deg[e.From]++
+		deg[e.To]++
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			var leaf int = -1
+			if deg[e.From] == 1 && !isTerm[e.From] {
+				leaf = e.From
+			} else if deg[e.To] == 1 && !isTerm[e.To] {
+				leaf = e.To
+			}
+			if leaf >= 0 {
+				alive[i] = false
+				deg[e.From]--
+				deg[e.To]--
+				changed = true
+			}
+		}
+	}
+	var out []graph.Edge
+	for i, e := range edges {
+		if alive[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsSteinerTree verifies that edges form an acyclic connected subgraph
+// containing every terminal.
+func IsSteinerTree(n int, edges []graph.Edge, terms []int) bool {
+	if len(terms) <= 1 {
+		return len(edges) == 0
+	}
+	uf := graph.NewUnionFind(n)
+	for _, e := range edges {
+		if !uf.Union(e.From, e.To) {
+			return false // cycle
+		}
+	}
+	for _, t := range terms[1:] {
+		if !uf.Same(terms[0], t) {
+			return false
+		}
+	}
+	return true
+}
+
+// choice records how a Dreyfus–Wagner dp entry was reached, for tree
+// reconstruction.
+type choice struct {
+	kind byte // 'b' base, 'm' merge, 'r' relax
+	sub  int  // merge: submask
+	u    int  // relax: predecessor vertex
+}
+
+// DreyfusWagner computes an exact minimum Steiner tree for the terminals
+// using the classical O(3^t·n + 2^t·n²) dynamic program over the metric
+// closure. Practical for t ≤ ~12 terminals. All terminals must be
+// connected in g.
+func DreyfusWagner(g *graph.Graph, terms []int) Tree {
+	if len(terms) <= 1 {
+		return Tree{}
+	}
+	n := g.N()
+	// All-pairs shortest paths from every vertex that can appear in the dp.
+	trees := make([]*paths.Tree, n)
+	for v := 0; v < n; v++ {
+		trees[v] = paths.Dijkstra(g, v)
+	}
+	dist := func(u, v int) float64 { return trees[u].Dist[v] }
+
+	root := terms[0]
+	q := terms[1:]
+	k := len(q)
+	full := (1 << k) - 1
+	dp := make([][]float64, full+1)
+	ch := make([][]choice, full+1)
+	for m := 1; m <= full; m++ {
+		dp[m] = make([]float64, n)
+		ch[m] = make([]choice, n)
+		for v := range dp[m] {
+			dp[m][v] = math.Inf(1)
+		}
+	}
+	for i, t := range q {
+		m := 1 << i
+		for v := 0; v < n; v++ {
+			dp[m][v] = dist(t, v)
+			ch[m][v] = choice{kind: 'b', u: t}
+		}
+	}
+	for m := 1; m <= full; m++ {
+		if m&(m-1) != 0 { // not a singleton: merge submasks
+			for sub := (m - 1) & m; sub > 0; sub = (sub - 1) & m {
+				if sub < m^sub { // visit each split once
+					continue
+				}
+				rest := m ^ sub
+				for v := 0; v < n; v++ {
+					if c := dp[sub][v] + dp[rest][v]; c < dp[m][v] {
+						dp[m][v] = c
+						ch[m][v] = choice{kind: 'm', sub: sub}
+					}
+				}
+			}
+		}
+		// Relaxation: Dijkstra-like pass over the metric closure.
+		relaxDense(dp[m], ch[m], dist, n)
+	}
+	// Reconstruct.
+	type frame struct {
+		mask, v int
+	}
+	edgeSet := map[[2]int]float64{}
+	stack := []frame{{full, root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := ch[f.mask][f.v]
+		switch c.kind {
+		case 'b':
+			collectPath(trees[c.u], f.v, edgeSet)
+		case 'm':
+			stack = append(stack, frame{c.sub, f.v}, frame{f.mask ^ c.sub, f.v})
+		case 'r':
+			collectPath(trees[c.u], f.v, edgeSet)
+			stack = append(stack, frame{f.mask, c.u})
+		}
+	}
+	var edges []graph.Edge
+	var cost float64
+	for p, w := range edgeSet {
+		edges = append(edges, graph.Edge{From: p[0], To: p[1], W: w})
+		cost += w
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	// Defensive: shared subpaths between merged branches can create cycles
+	// in degenerate tie cases; re-span and prune to a clean tree.
+	sub := graph.New(n)
+	for _, e := range edges {
+		sub.AddEdge(e.From, e.To, e.W)
+	}
+	clean := Prune(n, mst.Prim(sub, root), terms)
+	return Tree{Edges: clean, Cost: mst.Weight(clean)}
+}
+
+// relaxDense performs the DW relax step dp[v] = min(dp[v], dp[u]+dist(u,v))
+// to a fixed point, via an O(n²) Dijkstra-style sweep, recording
+// predecessors in ch.
+func relaxDense(dp []float64, ch []choice, dist func(int, int) float64, n int) {
+	done := make([]bool, n)
+	for iter := 0; iter < n; iter++ {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dp[v] < best {
+				u, best = v, dp[v]
+			}
+		}
+		if u < 0 {
+			return
+		}
+		done[u] = true
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			if c := best + dist(u, v); c < dp[v] {
+				dp[v] = c
+				ch[v] = choice{kind: 'r', u: u}
+			}
+		}
+	}
+}
+
+func collectPath(t *paths.Tree, v int, edgeSet map[[2]int]float64) {
+	path := t.PathTo(v)
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		w := t.Dist[path[i+1]] - t.Dist[path[i]]
+		if a > b {
+			a, b = b, a
+		}
+		if old, ok := edgeSet[[2]int{a, b}]; !ok || w < old {
+			edgeSet[[2]int{a, b}] = w
+		}
+	}
+}

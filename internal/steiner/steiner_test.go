@@ -1,0 +1,203 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/graph"
+	"wmcs/internal/mst"
+)
+
+// starGadget: terminals 0,1,2 on a star with hub 3; direct edges are more
+// expensive than going through the hub. Optimal Steiner tree uses the hub.
+func starGadget() *graph.Graph {
+	g := graph.New(4)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 1, 1.9)
+	g.AddEdge(1, 2, 1.9)
+	g.AddEdge(0, 2, 1.9)
+	return g
+}
+
+func TestDreyfusWagnerStar(t *testing.T) {
+	tr := DreyfusWagner(starGadget(), []int{0, 1, 2})
+	if math.Abs(tr.Cost-3) > 1e-9 {
+		t.Errorf("cost = %g want 3", tr.Cost)
+	}
+	if !IsSteinerTree(4, tr.Edges, []int{0, 1, 2}) {
+		t.Errorf("not a Steiner tree: %v", tr.Edges)
+	}
+}
+
+func TestKMBStarIsWithinFactor2(t *testing.T) {
+	tr := KMB(starGadget(), []int{0, 1, 2})
+	if !IsSteinerTree(4, tr.Edges, []int{0, 1, 2}) {
+		t.Fatalf("not a Steiner tree: %v", tr.Edges)
+	}
+	if tr.Cost > 2*3+1e-9 {
+		t.Errorf("cost = %g exceeds 2×OPT", tr.Cost)
+	}
+}
+
+func TestTwoTerminalsIsShortestPath(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 1, 1)
+	for _, tr := range []Tree{KMB(g, []int{0, 1}), DreyfusWagner(g, []int{0, 1})} {
+		if math.Abs(tr.Cost-3) > 1e-9 {
+			t.Errorf("cost = %g want 3 (path through 2,3)", tr.Cost)
+		}
+	}
+}
+
+func TestSingleAndEmptyTerminals(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if tr := KMB(g, []int{0}); tr.Cost != 0 || len(tr.Edges) != 0 {
+		t.Error("single-terminal KMB should be empty")
+	}
+	if tr := DreyfusWagner(g, nil); tr.Cost != 0 {
+		t.Error("empty DW should be empty")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	// Path 0-1-2-3 with terminal {0,1}: vertices 2,3 must be pruned.
+	edges := []graph.Edge{
+		{From: 0, To: 1, W: 1},
+		{From: 1, To: 2, W: 1},
+		{From: 2, To: 3, W: 1},
+	}
+	out := Prune(4, edges, []int{0, 1})
+	if len(out) != 1 || out[0].From != 0 || out[0].To != 1 {
+		t.Errorf("Prune = %v", out)
+	}
+}
+
+func TestIsSteinerTreeRejectsCycleAndDisconnect(t *testing.T) {
+	cyc := []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}}
+	if IsSteinerTree(3, cyc, []int{0, 1}) {
+		t.Error("cycle accepted")
+	}
+	disc := []graph.Edge{{From: 0, To: 1}}
+	if IsSteinerTree(4, disc, []int{0, 3}) {
+		t.Error("disconnected accepted")
+	}
+}
+
+// exactByEdgeSubsets brute-forces the minimum Steiner tree by trying every
+// subset of edges (only for tiny graphs).
+func exactByEdgeSubsets(g *graph.Graph, terms []int) float64 {
+	edges := g.Edges()
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		var chosen []graph.Edge
+		var w float64
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, e)
+				w += e.W
+			}
+		}
+		if w >= best {
+			continue
+		}
+		if IsSteinerTree(g.N(), chosen, terms) {
+			best = w
+		}
+	}
+	return best
+}
+
+// Property: DW matches a brute force over edge subsets on tiny graphs, and
+// KMB is between OPT and 2·OPT.
+func TestDWMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(2)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.8 {
+					g.AddEdge(i, j, 0.5+rng.Float64()*4)
+				}
+			}
+		}
+		k := 2 + rng.Intn(n-2)
+		terms := rng.Perm(n)[:k]
+		// Require connectivity among terminals.
+		uf := graph.NewUnionFind(n)
+		for _, e := range g.Edges() {
+			uf.Union(e.From, e.To)
+		}
+		connected := true
+		for _, tm := range terms[1:] {
+			if !uf.Same(terms[0], tm) {
+				connected = false
+			}
+		}
+		if !connected {
+			continue
+		}
+		opt := exactByEdgeSubsets(g, terms)
+		dw := DreyfusWagner(g, terms)
+		if math.Abs(dw.Cost-opt) > 1e-6 {
+			t.Fatalf("trial %d: DW=%g brute=%g (terms=%v)", trial, dw.Cost, opt, terms)
+		}
+		if !IsSteinerTree(n, dw.Edges, terms) {
+			t.Fatalf("trial %d: DW output not a Steiner tree", trial)
+		}
+		kmb := KMB(g, terms)
+		if !IsSteinerTree(n, kmb.Edges, terms) {
+			t.Fatalf("trial %d: KMB output not a Steiner tree", trial)
+		}
+		if kmb.Cost < opt-1e-6 || kmb.Cost > 2*opt+1e-6 {
+			t.Fatalf("trial %d: KMB=%g outside [OPT, 2·OPT]=[%g, %g]", trial, kmb.Cost, opt, 2*opt)
+		}
+	}
+}
+
+// Property: on larger random graphs, KMB ≥ DW and both are valid trees.
+func TestKMBvsDWRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(10)
+		g := graph.New(n)
+		// Ring + chords guarantees connectivity.
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n, 0.5+rng.Float64()*3)
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 0.5+rng.Float64()*6)
+			}
+		}
+		k := 3 + rng.Intn(5)
+		terms := rng.Perm(n)[:k]
+		dw := DreyfusWagner(g, terms)
+		kmb := KMB(g, terms)
+		if !IsSteinerTree(n, dw.Edges, terms) || !IsSteinerTree(n, kmb.Edges, terms) {
+			t.Fatalf("trial %d: invalid tree", trial)
+		}
+		if dw.Cost > kmb.Cost+1e-9 {
+			t.Fatalf("trial %d: DW %g > KMB %g", trial, dw.Cost, kmb.Cost)
+		}
+		if kmb.Cost > 2*dw.Cost+1e-9 {
+			t.Fatalf("trial %d: KMB %g > 2×OPT %g", trial, kmb.Cost, 2*dw.Cost)
+		}
+	}
+}
+
+func TestTreeCostMatchesEdges(t *testing.T) {
+	g := starGadget()
+	tr := KMB(g, []int{0, 1, 2})
+	if math.Abs(tr.Cost-mst.Weight(tr.Edges)) > 1e-12 {
+		t.Error("Cost field inconsistent with edges")
+	}
+}

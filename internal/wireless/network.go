@@ -1,0 +1,291 @@
+// Package wireless implements the paper's wireless network model: a
+// complete symmetric cost graph (S, c) over radio stations, power
+// assignments, the transmission digraphs they induce, multicast trees and
+// their induced power assignments, plus broadcast/multicast energy
+// algorithms — the MST heuristic and BIP of Wieselthier et al. [50], a
+// KMB-Steiner multicast heuristic (§3.2's "Steiner heuristic"), an exact
+// minimum-energy multicast solver for small n, and the polynomial exact
+// algorithms for the Euclidean cases α = 1 and d = 1 (Lemma 3.1).
+package wireless
+
+import (
+	"fmt"
+	"sort"
+
+	"wmcs/internal/geom"
+	"wmcs/internal/graph"
+)
+
+// Network is a symmetric wireless network: stations 0..N()−1, a source
+// station, and a symmetric transmission cost c(i, j) ≥ 0. Euclidean
+// networks additionally carry station coordinates and the power-cost
+// model, enabling the specialized algorithms of §3.
+type Network struct {
+	cost   *graph.Matrix
+	source int
+	points []geom.Point   // nil for abstract symmetric networks
+	pc     geom.PowerCost // valid only when points != nil
+}
+
+// NewSymmetric wraps a symmetric cost matrix as a network. The matrix is
+// used directly (not copied).
+func NewSymmetric(m *graph.Matrix, source int) *Network {
+	if source < 0 || source >= m.N() {
+		panic(fmt.Sprintf("wireless: source %d out of range", source))
+	}
+	return &Network{cost: m, source: source}
+}
+
+// NewEuclidean builds a network over the given points with cost
+// c(i, j) = kappa·dist(i, j)^alpha.
+func NewEuclidean(pts []geom.Point, pc geom.PowerCost, source int) *Network {
+	nw := NewSymmetric(graph.MatrixFrom(len(pts), pc.CostMatrix(pts)), source)
+	nw.points = pts
+	nw.pc = pc
+	return nw
+}
+
+// N returns the number of stations.
+func (nw *Network) N() int { return nw.cost.N() }
+
+// Source returns the source station index.
+func (nw *Network) Source() int { return nw.source }
+
+// C returns the transmission cost between stations i and j.
+func (nw *Network) C(i, j int) float64 { return nw.cost.At(i, j) }
+
+// CostMatrix returns the underlying cost matrix (shared, do not modify).
+func (nw *Network) CostMatrix() *graph.Matrix { return nw.cost }
+
+// IsEuclidean reports whether the network carries coordinates.
+func (nw *Network) IsEuclidean() bool { return nw.points != nil }
+
+// Points returns the station coordinates (nil for abstract networks).
+func (nw *Network) Points() []geom.Point { return nw.points }
+
+// PowerModel returns the Euclidean power-cost model; only meaningful when
+// IsEuclidean.
+func (nw *Network) PowerModel() geom.PowerCost { return nw.pc }
+
+// Dim returns the Euclidean dimension, or 0 for abstract networks.
+func (nw *Network) Dim() int {
+	if nw.points == nil {
+		return 0
+	}
+	return nw.points[0].Dim()
+}
+
+// CompleteGraph returns the complete undirected cost graph, used by the
+// Steiner and moat machinery.
+func (nw *Network) CompleteGraph() *graph.Graph { return nw.cost.Complete() }
+
+// AllReceivers returns every station except the source, the default agent
+// set of the mechanisms.
+func (nw *Network) AllReceivers() []int {
+	out := make([]int, 0, nw.N()-1)
+	for i := 0; i < nw.N(); i++ {
+		if i != nw.source {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Assignment is a power assignment π: station → transmission power. Its
+// cost is the total power.
+type Assignment []float64
+
+// Total returns the overall power consumption Σ π(x).
+func (a Assignment) Total() float64 {
+	var s float64
+	for _, p := range a {
+		s += p
+	}
+	return s
+}
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	b := make(Assignment, len(a))
+	copy(b, a)
+	return b
+}
+
+// ReachSet returns the stations reachable from the source in the
+// transmission digraph induced by a (edge i→j iff a[i] ≥ c(i, j)), via BFS
+// over the implicit digraph in O(n²).
+func (nw *Network) ReachSet(a Assignment) []bool {
+	n := nw.N()
+	reach := make([]bool, n)
+	reach[nw.source] = true
+	queue := []int{nw.source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if a[u] <= 0 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if !reach[v] && nw.C(u, v) <= a[u]+costEps {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reach
+}
+
+// costEps absorbs floating-point noise when comparing powers to costs.
+const costEps = 1e-9
+
+// Feasible reports whether assignment a implements a multicast from the
+// source to every station in R.
+func (nw *Network) Feasible(a Assignment, R []int) bool {
+	reach := nw.ReachSet(a)
+	for _, r := range R {
+		if !reach[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tree is a directed multicast tree rooted at Root: Parent[v] is the
+// predecessor of v, −1 for the root and for stations outside the tree.
+type Tree struct {
+	Root   int
+	Parent []int
+}
+
+// NewTree returns a tree containing only the root.
+func NewTree(n, root int) Tree {
+	t := Tree{Root: root, Parent: make([]int, n)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	return t
+}
+
+// InTree reports whether v belongs to the tree.
+func (t Tree) InTree(v int) bool { return v == t.Root || t.Parent[v] >= 0 }
+
+// Children returns the children lists of every station.
+func (t Tree) Children() [][]int {
+	ch := make([][]int, len(t.Parent))
+	for v, p := range t.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], v)
+		}
+	}
+	return ch
+}
+
+// Members returns the stations in the tree, in increasing order.
+func (t Tree) Members() []int {
+	var out []int
+	for v := range t.Parent {
+		if t.InTree(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Spans reports whether the tree contains every station in R and is a
+// well-formed arborescence (every non-root member reaches the root by
+// parent pointers, acyclically).
+func (t Tree) Spans(R []int) bool {
+	n := len(t.Parent)
+	for _, r := range R {
+		if !t.InTree(r) {
+			return false
+		}
+		// Walk to root with a step bound to detect cycles.
+		v := r
+		for steps := 0; v != t.Root; steps++ {
+			if steps > n || v < 0 {
+				return false
+			}
+			v = t.Parent[v]
+		}
+	}
+	return true
+}
+
+// AssignmentForTree returns the power assignment implementing the tree:
+// each station transmits at the maximum cost of an edge to one of its
+// children ("Steiner heuristic" of §3.2).
+func (nw *Network) AssignmentForTree(t Tree) Assignment {
+	a := make(Assignment, nw.N())
+	for v, p := range t.Parent {
+		if p >= 0 && nw.C(p, v) > a[p] {
+			a[p] = nw.C(p, v)
+		}
+	}
+	return a
+}
+
+// TreeFromUndirectedEdges orients an undirected tree (edge list) away from
+// root into a multicast Tree. Stations not connected to root stay outside.
+func TreeFromUndirectedEdges(n int, edges []graph.Edge, root int) Tree {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	t := NewTree(n, root)
+	seen := make([]bool, n)
+	seen[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				t.Parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return t
+}
+
+// PruneTree removes branches containing no station in keep, returning the
+// minimal subtree spanning keep ∪ {root}.
+func PruneTree(t Tree, keep []int) Tree {
+	n := len(t.Parent)
+	need := make([]bool, n)
+	need[t.Root] = true
+	for _, v := range keep {
+		if !t.InTree(v) {
+			continue
+		}
+		for x := v; x != -1 && !need[x]; x = t.Parent[x] {
+			need[x] = true
+		}
+	}
+	out := NewTree(n, t.Root)
+	for v := 0; v < n; v++ {
+		if need[v] && v != t.Root {
+			out.Parent[v] = t.Parent[v]
+		}
+	}
+	return out
+}
+
+// SortByCoordinate returns station indices sorted by their 1-D coordinate.
+// It panics unless the network is Euclidean with d = 1.
+func (nw *Network) SortByCoordinate() []int {
+	if nw.Dim() != 1 {
+		panic("wireless: SortByCoordinate requires a 1-dimensional network")
+	}
+	idx := make([]int, nw.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return nw.points[idx[a]][0] < nw.points[idx[b]][0]
+	})
+	return idx
+}

@@ -1,0 +1,79 @@
+package wireless
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wmcs/internal/geom"
+)
+
+// Property: raising any station's power never shrinks the reach set
+// (the transmission digraph grows monotonically with power).
+func TestQuickPowerMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func(seed uint16, station uint8, bump uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		nw := NewEuclidean(geom.RandomCloud(r, 7, 2, 10), geom.NewPowerCost(2), 0)
+		a := make(Assignment, nw.N())
+		for i := range a {
+			a[i] = r.Float64() * 50
+		}
+		before := nw.ReachSet(a)
+		b := a.Clone()
+		b[int(station)%nw.N()] += float64(bump) + 1
+		after := nw.ReachSet(b)
+		for v := range before {
+			if before[v] && !after[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the optimal multicast cost is monotone in the receiver set
+// and bounded by the broadcast optimum.
+func TestQuickOptimalCostMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	f := func(seed uint16, mask uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		nw := NewEuclidean(geom.RandomCloud(r, 6, 2, 10), geom.NewPowerCost(2), 0)
+		var R []int
+		for _, v := range nw.AllReceivers() {
+			if mask&(1<<uint(v%8)) != 0 {
+				R = append(R, v)
+			}
+		}
+		sub, _ := ExactMEMT(nw, R)
+		all, _ := ExactMEMT(nw, nw.AllReceivers())
+		return sub <= all+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tree→power Steiner heuristic never exceeds the tree's
+// edge-weight sum (each station pays only its max child edge).
+func TestQuickTreePowerAtMostEdgeSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	f := func(seed uint16) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		nw := NewEuclidean(geom.RandomCloud(r, 8, 2, 10), geom.NewPowerCost(2), 0)
+		tr, a := MSTBroadcast(nw)
+		var edgeSum float64
+		for v, p := range tr.Parent {
+			if p >= 0 {
+				edgeSum += nw.C(p, v)
+			}
+		}
+		return a.Total() <= edgeSum+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package wmech implements the §2.2.3 cost-sharing mechanism for
+// multicast transmissions in general symmetric wireless networks: reduce
+// to node-weighted Steiner tree via the Caragiannis et al. construction
+// (internal/memtred), run the §2.2.2 NWST mechanism (internal/nwstmech)
+// with the source's input node as a free terminal, extract the directed
+// multicast tree by BFS orientation, and then charge the orientation's
+// extra powers to the downstream receivers (step (c)), dropping and
+// restarting whenever someone cannot pay. With a β(k)-approximate spider
+// oracle the mechanism is 2β(k)-BB — 3 ln(k+1) for the paper's 1.5 ln k
+// oracle — strategyproof, and meets NPT, VP and CS; like its NWST core it
+// is not group strategyproof.
+package wmech
+
+import (
+	"math"
+	"sort"
+
+	"wmcs/internal/mech"
+	"wmcs/internal/memtred"
+	"wmcs/internal/nwst"
+	"wmcs/internal/nwstmech"
+	"wmcs/internal/wireless"
+)
+
+// Mechanism is the §2.2.3 wireless multicast cost-sharing mechanism.
+type Mechanism struct {
+	Net    *wireless.Network
+	Oracle nwst.Oracle
+	rd     *memtred.Reduction
+}
+
+const eps = 1e-9
+
+// New builds the mechanism; a nil oracle defaults to the branch-spider
+// greedy (the paper's 1.5 ln k choice).
+func New(nw *wireless.Network, oracle nwst.Oracle) *Mechanism {
+	if oracle == nil {
+		oracle = nwst.BranchSpiderOracle
+	}
+	return &Mechanism{Net: nw, Oracle: oracle, rd: memtred.New(nw)}
+}
+
+// Name implements mech.Mechanism.
+func (m *Mechanism) Name() string { return "wireless-bb" }
+
+// Agents implements mech.Mechanism: every station except the source.
+func (m *Mechanism) Agents() []int { return m.Net.AllReceivers() }
+
+// Result extends the outcome with the power assignment actually built.
+type Result struct {
+	Outcome    mech.Outcome
+	Assignment wireless.Assignment
+}
+
+// Run implements mech.Mechanism.
+func (m *Mechanism) Run(u mech.Profile) mech.Outcome { return m.RunDetailed(u).Outcome }
+
+// RunDetailed executes the full reduce–share–orient–surcharge loop.
+func (m *Mechanism) RunDetailed(u mech.Profile) Result {
+	active := append([]int(nil), m.Net.AllReceivers()...)
+	for len(active) > 0 {
+		res, dropped, ok := m.attempt(u, active)
+		if ok {
+			return res
+		}
+		if len(dropped) == 0 {
+			break
+		}
+		drop := map[int]bool{}
+		for _, x := range dropped {
+			drop[x] = true
+		}
+		var keep []int
+		for _, a := range active {
+			if !drop[a] {
+				keep = append(keep, a)
+			}
+		}
+		active = keep
+	}
+	return Result{
+		Outcome:    mech.Outcome{Shares: map[int]float64{}},
+		Assignment: make(wireless.Assignment, m.Net.N()),
+	}
+}
+
+// attempt performs one outer iteration on the active receiver set. It
+// returns ok=false with the stations to drop when step (c) finds an
+// unaffordable surcharge, or when the inner NWST mechanism itself shrank
+// the receiver set (the outer loop then re-reduces on the smaller set, as
+// in the paper's "while R′ ≠ R(v)" loop).
+func (m *Mechanism) attempt(u mech.Profile, active []int) (Result, []int, bool) {
+	inst := m.rd.Instance(active)
+	// Utility profile over H nodes: each receiver's input node inherits
+	// the station's report.
+	uh := make(mech.Profile, m.rd.G.N())
+	for _, r := range active {
+		uh[m.rd.In[r]] = u[r]
+	}
+	inner := nwstmech.New(inst, m.Oracle)
+	det := inner.RunDetailed(uh)
+	// Map surviving input-node terminals back to stations.
+	var served []int
+	for _, t := range det.Outcome.Receivers {
+		served = append(served, m.rd.Station(t))
+	}
+	sort.Ints(served)
+	if len(served) == 0 {
+		return Result{}, nil, false
+	}
+	if len(served) < len(active) {
+		// The inner mechanism dropped someone: restart the outer loop on
+		// the smaller set so the reduction, orientation and shares are
+		// all rebuilt consistently.
+		drop := diffSorted(active, served)
+		return Result{}, drop, false
+	}
+	shares := make(map[int]float64, len(served))
+	for _, t := range det.Outcome.Receivers {
+		shares[m.rd.Station(t)] = det.Outcome.Shares[t]
+	}
+	ex := m.rd.Extract(det.Nodes, served)
+	down := ex.DownstreamReceivers(m.Net.N(), served)
+	// Step (c): walk stations backward along the BFS enumeration; any
+	// station transmitting more than the NWST solution paid for charges
+	// its full power equally to its downstream receivers.
+	var dropped []int
+	for i := len(ex.Order) - 1; i >= 0; i-- {
+		xi := ex.Order[i]
+		if ex.Pi[xi] <= ex.PiNWST[xi]+eps {
+			continue
+		}
+		ni := down[xi]
+		if len(ni) == 0 {
+			continue // nothing downstream to charge; power stays covered by cost recovery of the tree
+		}
+		slice := ex.Pi[xi] / float64(len(ni))
+		for _, xj := range ni {
+			if u[xj]-shares[xj] < slice-eps {
+				dropped = append(dropped, xj)
+			}
+		}
+		if len(dropped) > 0 {
+			sort.Ints(dropped)
+			return Result{}, dropped, false
+		}
+		for _, xj := range ni {
+			shares[xj] += slice
+		}
+	}
+	return Result{
+		Outcome: mech.Outcome{
+			Receivers: served,
+			Shares:    shares,
+			Cost:      ex.Pi.Total(),
+		},
+		Assignment: ex.Pi,
+	}, nil, true
+}
+
+// diffSorted returns the elements of a (sorted) not present in b (sorted).
+func diffSorted(a, b []int) []int {
+	var out []int
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// BetaBound returns the nominal budget-balance guarantee 3·ln(k+1) for k
+// receivers (the paper's Theorem for the 1.5 ln k oracle); experiment E6
+// measures the actual ratios, which also cover the Klein–Ravi oracle's
+// 4 ln k variant.
+func BetaBound(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	b := 3 * math.Log(float64(k)+1)
+	if b < 1 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package wmech
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mech"
+	"wmcs/internal/nwst"
+	"wmcs/internal/wireless"
+)
+
+func TestRichProfileServesEveryoneFeasibly(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		nw := instances.RandomEuclidean(rng, 6+rng.Intn(4), 2, 2, 10)
+		m := New(nw, nwst.KleinRaviOracle)
+		u := mech.UniformProfile(nw.N(), 1e8)
+		res := m.RunDetailed(u)
+		o := res.Outcome
+		if len(o.Receivers) != nw.N()-1 {
+			t.Fatalf("trial %d: receivers %v, want everyone", trial, o.Receivers)
+		}
+		if !nw.Feasible(res.Assignment, o.Receivers) {
+			t.Fatalf("trial %d: assignment infeasible", trial)
+		}
+		if math.Abs(res.Assignment.Total()-o.Cost) > 1e-9 {
+			t.Fatalf("trial %d: cost field inconsistent", trial)
+		}
+		if err := mech.CheckAll(u, o); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBetaBBAgainstExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 8; trial++ {
+		nw := instances.RandomSymmetric(rng, 7, 0.5, 10)
+		m := New(nw, nwst.BranchSpiderOracle)
+		u := mech.UniformProfile(nw.N(), 1e8)
+		o := m.Run(u)
+		if len(o.Receivers) == 0 {
+			t.Fatalf("trial %d: nobody served", trial)
+		}
+		opt, _ := wireless.ExactMEMT(nw, o.Receivers)
+		k := len(o.Receivers)
+		// Allow the weaker oracle bound 2·(1 + 2 ln k) as the envelope.
+		bound := 2 * (1 + 2*math.Log(float64(k))) * opt
+		if o.TotalShares() > bound+1e-7 {
+			t.Fatalf("trial %d: shares %g exceed bound %g (opt %g, k=%d)",
+				trial, o.TotalShares(), bound, opt, k)
+		}
+		if err := mech.CheckCostRecovery(o); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestAxiomsOnRandomProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 10; trial++ {
+		nw := instances.RandomEuclidean(rng, 7, 2, 2, 10)
+		m := New(nw, nwst.KleinRaviOracle)
+		u := mech.RandomProfile(rng, nw.N(), 60)
+		res := m.RunDetailed(u)
+		o := res.Outcome
+		if err := mech.CheckNPT(o); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := mech.CheckVP(u, o); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(o.Receivers) > 0 {
+			if err := mech.CheckCostRecovery(o); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !nw.Feasible(res.Assignment, o.Receivers) {
+				t.Fatalf("trial %d: infeasible", trial)
+			}
+		}
+	}
+}
+
+func TestStrategyproofSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 5; trial++ {
+		nw := instances.RandomEuclidean(rng, 6, 2, 2, 10)
+		m := New(nw, nwst.KleinRaviOracle)
+		truth := mech.RandomProfile(rng, nw.N(), 40)
+		if err := mech.CheckStrategyproof(m, truth, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestConsumerSovereignty(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	nw := instances.RandomEuclidean(rng, 6, 2, 2, 10)
+	m := New(nw, nwst.KleinRaviOracle)
+	if err := mech.CheckCS(m, mech.RandomProfile(rng, nw.N(), 5), 1e9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoorProfileDropsEveryone(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	nw := instances.RandomEuclidean(rng, 6, 2, 2, 10)
+	m := New(nw, nwst.KleinRaviOracle)
+	o := m.Run(mech.UniformProfile(nw.N(), 1e-12))
+	if len(o.Receivers) != 0 {
+		t.Fatalf("receivers = %v, want none", o.Receivers)
+	}
+}
+
+func TestBetaBound(t *testing.T) {
+	if BetaBound(0) != 1 || BetaBound(-1) != 1 {
+		t.Error("degenerate bounds should be 1")
+	}
+	if got := BetaBound(9); math.Abs(got-3*math.Log(10)) > 1e-12 {
+		t.Errorf("BetaBound(9) = %g", got)
+	}
+}
+
+func TestDiffSorted(t *testing.T) {
+	got := diffSorted([]int{1, 2, 3, 5, 8}, []int{2, 5})
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 8 {
+		t.Errorf("diffSorted = %v", got)
+	}
+	if diffSorted(nil, []int{1}) != nil {
+		t.Error("empty diff should be nil")
+	}
+}

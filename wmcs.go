@@ -1,0 +1,181 @@
+// Package wmcs is the public façade of the reproduction of Bilò,
+// Flammini, Melideo, Moscardelli, Navarra: "Sharing the cost of multicast
+// transmissions in wireless networks" (SPAA 2004 / TCS 369 (2006)).
+//
+// It exposes the wireless network model, every cost-sharing mechanism the
+// paper constructs, and the axiom checkers of the simulated evaluation:
+//
+//   - UniversalShapley / UniversalMC — §2.1 mechanisms on a fixed
+//     universal broadcast tree (budget balanced group-strategyproof vs
+//     efficient strategyproof);
+//   - WirelessBudgetBalanced — the §2.2.3 3·ln(k+1)-BB mechanism for
+//     general symmetric networks via the NWST reduction;
+//   - Alpha1Shapley / Alpha1MC and LineShapley / LineMC — the optimal
+//     Euclidean mechanisms of Theorem 3.2 (α = 1 or d = 1);
+//   - Moat — the Theorem 3.6/3.7 Jain–Vazirani family, 2(3^d−1)-BB
+//     (12-BB at d = 2) and group strategyproof.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the measured
+// reproduction of every theorem and figure.
+package wmcs
+
+import (
+	"fmt"
+
+	"wmcs/internal/euclid1"
+	"wmcs/internal/geom"
+	"wmcs/internal/graph"
+	"wmcs/internal/jv"
+	"wmcs/internal/mech"
+	"wmcs/internal/nwst"
+	"wmcs/internal/universal"
+	"wmcs/internal/wireless"
+	"wmcs/internal/wmech"
+)
+
+// Network is a symmetric wireless network (see internal/wireless).
+type Network = wireless.Network
+
+// Assignment is a power assignment over the stations.
+type Assignment = wireless.Assignment
+
+// Profile is a reported utility profile indexed by station id.
+type Profile = mech.Profile
+
+// Outcome is a mechanism outcome: receivers, shares and solution cost.
+type Outcome = mech.Outcome
+
+// Mechanism is a cost-sharing mechanism.
+type Mechanism = mech.Mechanism
+
+// NewEuclideanNetwork builds a network from d-dimensional station
+// coordinates with power cost dist^alpha and the given source station.
+func NewEuclideanNetwork(points [][]float64, alpha float64, source int) *Network {
+	pts := make([]geom.Point, len(points))
+	for i, p := range points {
+		pts[i] = geom.Point(p)
+	}
+	return wireless.NewEuclidean(pts, geom.NewPowerCost(alpha), source)
+}
+
+// NewSymmetricNetwork builds an abstract symmetric network from a cost
+// matrix given as rows (costs[i][j] must equal costs[j][i]).
+func NewSymmetricNetwork(costs [][]float64, source int) (*Network, error) {
+	n := len(costs)
+	m := graph.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		if len(costs[i]) != n {
+			return nil, fmt.Errorf("wmcs: row %d has %d entries, want %d", i, len(costs[i]), n)
+		}
+		for j := i + 1; j < n; j++ {
+			if costs[i][j] != costs[j][i] {
+				return nil, fmt.Errorf("wmcs: asymmetric cost at (%d,%d)", i, j)
+			}
+			m.Set(i, j, costs[i][j])
+		}
+	}
+	return wireless.NewSymmetric(m, source), nil
+}
+
+// UniversalShapley returns the §2.1 budget-balanced group-strategyproof
+// Shapley mechanism on a shortest-path universal tree.
+func UniversalShapley(nw *Network) Mechanism {
+	return universal.ShapleyMechanism(universal.SPT(nw))
+}
+
+// UniversalMC returns the §2.1 efficient strategyproof marginal-cost
+// mechanism on a shortest-path universal tree.
+func UniversalMC(nw *Network) Mechanism {
+	return universal.MCMechanism(universal.SPT(nw))
+}
+
+// WirelessBudgetBalanced returns the §2.2.3 mechanism: 3·ln(k+1)-BB,
+// strategyproof, NPT/VP/CS, for arbitrary symmetric networks.
+func WirelessBudgetBalanced(nw *Network) Mechanism {
+	return wmech.New(nw, nwst.BranchSpiderOracle)
+}
+
+// Alpha1Shapley returns the Theorem 3.2 optimally budget-balanced
+// mechanism for Euclidean networks with α = 1.
+func Alpha1Shapley(nw *Network) Mechanism {
+	return euclid1.NewAirportGame(nw).ShapleyMechanism()
+}
+
+// Alpha1MC returns the Theorem 3.2 efficient mechanism for α = 1.
+func Alpha1MC(nw *Network) Mechanism {
+	return euclid1.NewAirportGame(nw).MCMechanism()
+}
+
+// LineShapley returns the Theorem 3.2 optimally budget-balanced mechanism
+// for 1-dimensional networks.
+func LineShapley(nw *Network) Mechanism {
+	return euclid1.NewLineGame(nw).ShapleyMechanism()
+}
+
+// LineMC returns the Theorem 3.2 efficient mechanism for d = 1.
+func LineMC(nw *Network) Mechanism {
+	return euclid1.NewLineGame(nw).MCMechanism()
+}
+
+// Moat returns the Theorem 3.6/3.7 Jain–Vazirani moat mechanism
+// (2(3^d−1)-BB, group strategyproof); weights parameterize the family
+// (nil = uniform).
+func Moat(nw *Network, weights func(agent int) float64) Mechanism {
+	return jv.NewMechanism(nw, weights)
+}
+
+// MechanismNames lists the names accepted by ByName.
+func MechanismNames() []string {
+	return []string{
+		"universal-shapley", "universal-mc", "wireless-bb",
+		"alpha1-shapley", "alpha1-mc", "line-shapley", "line-mc", "jv-moat",
+	}
+}
+
+// ByName constructs a mechanism by its registry name, validating the
+// network against the mechanism's requirements.
+func ByName(name string, nw *Network) (Mechanism, error) {
+	switch name {
+	case "universal-shapley":
+		return UniversalShapley(nw), nil
+	case "universal-mc":
+		return UniversalMC(nw), nil
+	case "wireless-bb":
+		return WirelessBudgetBalanced(nw), nil
+	case "alpha1-shapley", "alpha1-mc":
+		if !nw.IsEuclidean() || nw.PowerModel().Alpha != 1 {
+			return nil, fmt.Errorf("wmcs: %s requires a Euclidean network with alpha = 1", name)
+		}
+		if name == "alpha1-shapley" {
+			return Alpha1Shapley(nw), nil
+		}
+		return Alpha1MC(nw), nil
+	case "line-shapley", "line-mc":
+		if nw.Dim() != 1 {
+			return nil, fmt.Errorf("wmcs: %s requires a 1-dimensional network", name)
+		}
+		if name == "line-shapley" {
+			return LineShapley(nw), nil
+		}
+		return LineMC(nw), nil
+	case "jv-moat":
+		return Moat(nw, nil), nil
+	}
+	return nil, fmt.Errorf("wmcs: unknown mechanism %q (try one of %v)", name, MechanismNames())
+}
+
+// OptimalCost returns C*(R) from the best exact solver available for the
+// network class (closed forms for α = 1 and d = 1, subset-Dijkstra
+// otherwise; the latter is limited to small n).
+func OptimalCost(nw *Network, R []int) float64 {
+	return wireless.OptimalMulticastCost(nw, R)
+}
+
+// Verify checks NPT, VP and cost recovery of an outcome under a profile.
+func Verify(u Profile, o Outcome) error { return mech.CheckAll(u, o) }
+
+// VerifyStrategyproof probes the mechanism with the default deviation
+// factors around the given truthful profile.
+func VerifyStrategyproof(m Mechanism, truth Profile) error {
+	return mech.CheckStrategyproof(m, truth, nil)
+}

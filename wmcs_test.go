@@ -1,0 +1,125 @@
+package wmcs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smallCloud(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewEuclideanNetwork(t *testing.T) {
+	nw := NewEuclideanNetwork([][]float64{{0, 0}, {3, 4}}, 2, 0)
+	if nw.N() != 2 || math.Abs(nw.C(0, 1)-25) > 1e-9 {
+		t.Fatalf("C(0,1) = %g want 25", nw.C(0, 1))
+	}
+}
+
+func TestNewSymmetricNetwork(t *testing.T) {
+	nw, err := NewSymmetricNetwork([][]float64{{0, 2}, {2, 0}}, 0)
+	if err != nil || nw.C(0, 1) != 2 {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := NewSymmetricNetwork([][]float64{{0, 1}, {2, 0}}, 0); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, err := NewSymmetricNetwork([][]float64{{0, 1}}, 0); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestByNameAllMechanismsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range MechanismNames() {
+		var nw *Network
+		switch name {
+		case "alpha1-shapley", "alpha1-mc":
+			nw = NewEuclideanNetwork(smallCloud(rng, 6, 2), 1, 0)
+		case "line-shapley", "line-mc":
+			nw = NewEuclideanNetwork(smallCloud(rng, 6, 1), 2, 0)
+		default:
+			nw = NewEuclideanNetwork(smallCloud(rng, 6, 2), 2, 0)
+		}
+		m, err := ByName(name, nw)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		u := make(Profile, nw.N())
+		for i := range u {
+			u[i] = rng.Float64() * 50
+		}
+		o := m.Run(u)
+		isMC := name == "universal-mc" || name == "alpha1-mc" || name == "line-mc"
+		if !isMC && len(o.Receivers) > 0 {
+			// Budget-balanced family: full axiom bundle incl. cost recovery.
+			if err := Verify(u, o); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if isMC && o.TotalShares() > o.Cost+1e-7 {
+			// Efficient family: may run a deficit but never a surplus.
+			t.Fatalf("%s collected a surplus: %g > %g", name, o.TotalShares(), o.Cost)
+		}
+		if err := VerifyStrategyproof(m, u); err != nil {
+			t.Fatalf("%s not strategyproof: %v", name, err)
+		}
+	}
+}
+
+func TestByNameValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nw2 := NewEuclideanNetwork(smallCloud(rng, 5, 2), 2, 0)
+	if _, err := ByName("alpha1-shapley", nw2); err == nil {
+		t.Error("alpha1 on α=2 accepted")
+	}
+	if _, err := ByName("line-mc", nw2); err == nil {
+		t.Error("line mechanism on d=2 accepted")
+	}
+	if _, err := ByName("bogus", nw2); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestOptimalCostDispatch(t *testing.T) {
+	nw := NewEuclideanNetwork([][]float64{{0}, {1}, {2}}, 2, 0)
+	if got := OptimalCost(nw, []int{2}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("line optimal = %g want 2 (two unit hops)", got)
+	}
+	if OptimalCost(nw, nil) != 0 {
+		t.Error("empty R should cost 0")
+	}
+}
+
+// End-to-end smoke: the BB mechanism recovers cost and stays within the
+// paper's bound on a small network, via only the public API.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw := NewEuclideanNetwork(smallCloud(rng, 8, 2), 2, 0)
+	m := WirelessBudgetBalanced(nw)
+	u := make(Profile, nw.N())
+	for i := range u {
+		u[i] = 1e8
+	}
+	o := m.Run(u)
+	if len(o.Receivers) != nw.N()-1 {
+		t.Fatalf("receivers = %v", o.Receivers)
+	}
+	opt := OptimalCost(nw, o.Receivers)
+	if o.TotalShares() < o.Cost-1e-7 {
+		t.Error("cost recovery failed")
+	}
+	k := float64(len(o.Receivers))
+	if o.TotalShares() > 2*(1+2*math.Log(k))*opt+1e-7 {
+		t.Errorf("shares %g far above bound (opt %g)", o.TotalShares(), opt)
+	}
+}
