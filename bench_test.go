@@ -1,9 +1,10 @@
 package wmcs
 
 // Benchmark harness: one benchmark per experiment table of the simulated
-// evaluation (DESIGN.md §4) — BenchmarkE01…BenchmarkE11 and the ablation
-// BenchmarkA01 regenerate the same rows cmd/benchtab prints — plus micro
-// benchmarks of the algorithmic substrates the mechanisms stand on.
+// evaluation (DESIGN.md §4) — BenchmarkE01…BenchmarkE13 and the ablations
+// BenchmarkA01/A04 regenerate the same rows cmd/benchtab prints — plus
+// micro benchmarks of the algorithmic substrates the mechanisms stand on,
+// and the serial-vs-parallel RunAll pair exposing the engine speedup.
 
 import (
 	"io"
@@ -51,8 +52,23 @@ func BenchmarkE09PentagonCore(b *testing.B)        { benchExperiment(b, "E9") }
 func BenchmarkE10MSTRatio(b *testing.B)            { benchExperiment(b, "E10") }
 func BenchmarkE11MoatMechanism(b *testing.B)       { benchExperiment(b, "E11") }
 func BenchmarkE12Multicast(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkE13ScenarioSweep(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkA01TreeChoice(b *testing.B)          { benchExperiment(b, "A1") }
 func BenchmarkA04EfficiencyLoss(b *testing.B)      { benchExperiment(b, "A4") }
+
+// BenchmarkRunAllSerial/Parallel expose the engine speedup: identical
+// bytes, different wall clock (compare ns/op at -cpu settings ≥ 4).
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(io.Discard, experiments.Config{Quick: true, Workers: 1})
+	}
+}
+
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(io.Discard, experiments.Config{Quick: true})
+	}
+}
 
 // --- micro benchmarks of the substrates ---
 

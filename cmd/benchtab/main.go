@@ -1,12 +1,14 @@
 // Command benchtab regenerates every table of the simulated evaluation
-// (experiments E1–E11 and the ablations of DESIGN.md §4), the
+// (experiments E1–E13 and the ablations of DESIGN.md §4), the
 // reproduction's stand-in for the paper's figures.
 //
 // Usage:
 //
-//	benchtab            # full suite (minutes)
-//	benchtab -quick     # reduced trial counts (seconds)
-//	benchtab -only E9   # a single experiment
+//	benchtab                 # full suite (tens of seconds, parallel)
+//	benchtab -quick          # reduced trial counts (seconds)
+//	benchtab -only E9        # a single experiment
+//	benchtab -parallel 1     # force a serial run (byte-identical output)
+//	benchtab -json           # one JSON table per line
 package main
 
 import (
@@ -19,18 +21,35 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced trial counts")
-		only  = flag.String("only", "", "run a single experiment by id (E1..E11, A1)")
+		quick    = flag.Bool("quick", false, "reduced trial counts")
+		only     = flag.String("only", "", "run a single experiment by id (E1..E13, A1, A4)")
+		parallel = flag.Int("parallel", 0, "evaluation-engine workers: 1 = serial, 0 = GOMAXPROCS")
+		jsonOut  = flag.Bool("json", false, "emit tables as JSON (one object per line)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{Quick: *quick, Workers: *parallel}
 	if *only != "" {
 		e := experiments.Lookup(*only)
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 			os.Exit(2)
 		}
-		e.Run(cfg).Render(os.Stdout)
+		tab := e.Run(cfg)
+		if *jsonOut {
+			if err := tab.RenderJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		tab.Render(os.Stdout)
+		return
+	}
+	if *jsonOut {
+		if err := experiments.RunAllJSON(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 	experiments.RunAll(os.Stdout, cfg)

@@ -1,10 +1,16 @@
 // Command wmcs generates wireless multicast instances and runs the
 // paper's cost-sharing mechanisms on them, printing the receiver set,
 // the per-agent cost shares, the solution cost and the axiom checks.
+// It can also run the whole simulated-evaluation suite (-suite), emit
+// machine-readable JSON (-json), and parallelize the evaluation engine
+// (-parallel).
 //
 // Usage:
 //
 //	wmcs -mech wireless-bb -model euclid -n 10 -d 2 -alpha 2 -seed 1 -umax 50
+//	wmcs -mech jv-moat -model clustered -n 12        # any registry scenario
+//	wmcs -suite -quick -parallel 4                   # the E1–E13/A1–A4 tables
+//	wmcs -suite -json > tables.jsonl                 # one JSON table per line
 //	wmcs -list
 package main
 
@@ -16,6 +22,7 @@ import (
 	"sort"
 
 	"wmcs"
+	"wmcs/internal/experiments"
 	"wmcs/internal/instances"
 	"wmcs/internal/stats"
 )
@@ -23,33 +30,54 @@ import (
 func main() {
 	var (
 		mechName = flag.String("mech", "universal-shapley", "mechanism name (see -list)")
-		model    = flag.String("model", "euclid", "instance model: euclid | line | symmetric")
+		model    = flag.String("model", "euclid", "instance model: euclid | any scenario from -list")
 		n        = flag.Int("n", 10, "number of stations (station 0 is the source for euclid/symmetric)")
-		d        = flag.Int("d", 2, "Euclidean dimension")
+		d        = flag.Int("d", 2, "Euclidean dimension (euclid model only)")
 		alpha    = flag.Float64("alpha", 2, "distance-power gradient α")
 		seed     = flag.Int64("seed", 1, "random seed")
 		umax     = flag.Float64("umax", 50, "utilities are drawn uniformly from [0, umax)")
-		list     = flag.Bool("list", false, "list mechanisms and exit")
+		list     = flag.Bool("list", false, "list mechanisms and scenarios, then exit")
+		suite    = flag.Bool("suite", false, "run the full experiment suite instead of a single mechanism")
+		quick    = flag.Bool("quick", false, "with -suite: reduced trial counts")
+		parallel = flag.Int("parallel", 0, "evaluation-engine workers: 1 = serial, 0 = GOMAXPROCS")
+		jsonOut  = flag.Bool("json", false, "emit tables as JSON (one object per line)")
 	)
 	flag.Parse()
 	if *list {
+		fmt.Println("mechanisms:")
 		for _, name := range wmcs.MechanismNames() {
-			fmt.Println(name)
+			fmt.Printf("  %s\n", name)
 		}
+		fmt.Println("scenarios (-model):")
+		for _, s := range instances.Scenarios() {
+			fmt.Printf("  %-10s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+	if *suite {
+		cfg := experiments.Config{Quick: *quick, Workers: *parallel}
+		if *jsonOut {
+			if err := experiments.RunAllJSON(os.Stdout, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		experiments.RunAll(os.Stdout, cfg)
 		return
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	var nw *wmcs.Network
-	switch *model {
-	case "euclid":
+	if *model == "euclid" {
+		// Legacy spelling of the uniform family, honouring -d.
 		nw = instances.RandomEuclidean(rng, *n, *d, *alpha, 10)
-	case "line":
-		nw = instances.RandomLine(rng, *n, *alpha, 10)
-	case "symmetric":
-		nw = instances.RandomSymmetric(rng, *n, 0.5, 10)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(2)
+	} else {
+		sc, err := instances.ScenarioByName(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		nw = sc.Gen(rng, *n, *alpha)
 	}
 	m, err := wmcs.ByName(*mechName, nw)
 	if err != nil {
@@ -87,6 +115,13 @@ func main() {
 		tab.Note("axiom check: %v", err)
 	} else {
 		tab.Note("axiom check: NPT ✓  VP ✓  cost recovery ✓")
+	}
+	if *jsonOut {
+		if err := tab.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	tab.Render(os.Stdout)
 }

@@ -1,0 +1,3 @@
+module wmcs
+
+go 1.24

@@ -18,33 +18,42 @@ import (
 
 // E01UniversalSubmodular validates Lemma 2.1: the cost function induced
 // by a universal broadcast tree is non-decreasing and submodular, on both
-// Euclidean and abstract symmetric networks.
+// Euclidean and abstract symmetric networks. One cell per (n, model)
+// pair; both trees are checked on the same instance inside the cell.
 func E01UniversalSubmodular(cfg Config) *stats.Table {
 	t := stats.NewTable("E1 — Lemma 2.1: universal-tree cost monotone & submodular",
 		"model", "n", "tree", "samples", "violations")
-	rng := rand.New(rand.NewSource(101))
 	samples := cfg.trials(400, 60)
-	for _, n := range []int{8, 12, 16} {
-		for _, model := range []string{"euclid-d2-a2", "symmetric"} {
-			var nw *wireless.Network
-			if model == "euclid-d2-a2" {
-				nw = instances.RandomEuclidean(rng, n, 2, 2, 10)
+	ns := []int{8, 12, 16}
+	models := []string{"euclid-d2-a2", "symmetric"}
+	rows := cells(cfg, 101, len(ns)*len(models), func(task int, rng *rand.Rand) [][]string {
+		n := ns[task/len(models)]
+		model := models[task%len(models)]
+		var nw *wireless.Network
+		if model == "euclid-d2-a2" {
+			nw = instances.RandomEuclidean(rng, n, 2, 2, 10)
+		} else {
+			nw = instances.RandomSymmetric(rng, n, 0.5, 10)
+		}
+		var out [][]string
+		for _, treeName := range []string{"spt", "mst"} {
+			var ut *universal.Tree
+			if treeName == "spt" {
+				ut = universal.SPT(nw)
 			} else {
-				nw = instances.RandomSymmetric(rng, n, 0.5, 10)
+				ut = universal.MST(nw)
 			}
-			for _, treeName := range []string{"spt", "mst"} {
-				var ut *universal.Tree
-				if treeName == "spt" {
-					ut = universal.SPT(nw)
-				} else {
-					ut = universal.MST(nw)
-				}
-				violations := 0
-				if err := sharing.CheckSubmodular(ut.CostFunc(), nw.AllReceivers(), rng, samples, 1e-9); err != nil {
-					violations++
-				}
-				t.Add(model, fmt.Sprint(n), treeName, fmt.Sprint(samples), fmt.Sprint(violations))
+			violations := 0
+			if err := sharing.CheckSubmodular(ut.CostFunc(), nw.AllReceivers(), rng, samples, 1e-9); err != nil {
+				violations++
 			}
+			out = append(out, []string{model, fmt.Sprint(n), treeName, fmt.Sprint(samples), fmt.Sprint(violations)})
+		}
+		return out
+	})
+	for _, rs := range rows {
+		for _, r := range rs {
+			t.Add(r...)
 		}
 	}
 	t.Note("paper: Lemma 2.1 proves 0 violations; any nonzero count would falsify it")
@@ -53,33 +62,47 @@ func E01UniversalSubmodular(cfg Config) *stats.Table {
 
 // E02UniversalShapley validates the §2.1 Shapley mechanism: exact budget
 // balance on the induced cost, NPT/VP/CS, strategyproofness and sampled
-// group strategyproofness.
+// group strategyproofness. One cell per (n, profile); the network of a
+// row is rebuilt in each cell from the row's setup seed.
 func E02UniversalShapley(cfg Config) *stats.Table {
 	t := stats.NewTable("E2 — §2.1 universal-tree Shapley mechanism",
 		"n", "profiles", "max |Σc−C|", "axiom viol", "SP viol", "GSP viol (sampled)")
-	rng := rand.New(rand.NewSource(102))
 	profiles := cfg.trials(30, 6)
-	for _, n := range []int{8, 12, 16} {
-		nw := instances.RandomEuclidean(rng, n, 2, 2, 10)
-		ut := universal.SPT(nw)
-		m := universal.ShapleyMechanism(ut)
+	coalitions := cfg.trials(60, 10)
+	ns := []int{8, 12, 16}
+	type res struct {
+		gap            float64
+		axiom, sp, gsp int
+	}
+	out := cells(cfg, 102, len(ns)*profiles, func(task int, rng *rand.Rand) res {
+		nIdx := task / profiles
+		n := ns[nIdx]
+		nw := instances.RandomEuclidean(setupRNG(102, nIdx), n, 2, 2, 10)
+		m := universal.ShapleyMechanism(universal.SPT(nw))
+		u := mech.RandomProfile(rng, n, 30)
+		o := m.Run(u)
+		var r res
+		r.gap = math.Abs(o.TotalShares() - o.Cost)
+		if mech.CheckAll(u, o) != nil {
+			r.axiom++
+		}
+		if mech.CheckStrategyproof(m, u, nil) != nil {
+			r.sp++
+		}
+		if mech.CheckGroupStrategyproof(m, u, rng, coalitions, nil) != nil {
+			r.gsp++
+		}
+		return r
+	})
+	for nIdx, n := range ns {
 		maxGap := 0.0
 		axiom, sp, gsp := 0, 0, 0
 		for p := 0; p < profiles; p++ {
-			u := mech.RandomProfile(rng, n, 30)
-			o := m.Run(u)
-			if g := math.Abs(o.TotalShares() - o.Cost); g > maxGap {
-				maxGap = g
-			}
-			if mech.CheckAll(u, o) != nil {
-				axiom++
-			}
-			if mech.CheckStrategyproof(m, u, nil) != nil {
-				sp++
-			}
-			if mech.CheckGroupStrategyproof(m, u, rng, cfg.trials(60, 10), nil) != nil {
-				gsp++
-			}
+			r := out[nIdx*profiles+p]
+			maxGap = math.Max(maxGap, r.gap)
+			axiom += r.axiom
+			sp += r.sp
+			gsp += r.gsp
 		}
 		t.Add(fmt.Sprint(n), fmt.Sprint(profiles), stats.F(maxGap),
 			fmt.Sprint(axiom), fmt.Sprint(sp), fmt.Sprint(gsp))
@@ -91,35 +114,53 @@ func E02UniversalShapley(cfg Config) *stats.Table {
 // E03UniversalMC validates the §2.1 MC mechanism: efficiency equals the
 // brute-force optimum, strategyproofness, and the no-surplus property;
 // it also reports the Shapley mechanism's efficiency loss, the tradeoff
-// §1.1 discusses.
+// §1.1 discusses. One cell per (n, profile).
 func E03UniversalMC(cfg Config) *stats.Table {
 	t := stats.NewTable("E3 — §2.1 universal-tree MC mechanism",
 		"n", "profiles", "max eff gap", "SP viol", "surplus viol", "mean NW(Shapley)/NW(MC)")
-	rng := rand.New(rand.NewSource(103))
 	profiles := cfg.trials(25, 5)
-	for _, n := range []int{8, 10, 12} {
-		nw := instances.RandomEuclidean(rng, n, 2, 2, 10)
+	ns := []int{8, 10, 12}
+	type res struct {
+		gap         float64
+		sp, surplus int
+		loss        float64
+		hasLoss     bool
+	}
+	out := cells(cfg, 103, len(ns)*profiles, func(task int, rng *rand.Rand) res {
+		nIdx := task / profiles
+		n := ns[nIdx]
+		nw := instances.RandomEuclidean(setupRNG(103, nIdx), n, 2, 2, 10)
 		ut := universal.SPT(nw)
 		mc := universal.MCMechanism(ut)
 		shap := universal.ShapleyMechanism(ut)
+		u := mech.RandomProfile(rng, n, 30)
+		o := mc.Run(u)
+		opt := mech.BruteForceNetWorth(nw.AllReceivers(), u, func(R []int) float64 { return ut.Cost(R) })
+		var r res
+		r.gap = math.Abs(o.NetWorth(u) - opt)
+		if mech.CheckStrategyproof(mc, u, nil) != nil {
+			r.sp++
+		}
+		if o.TotalShares() > o.Cost+1e-7 {
+			r.surplus++
+		}
+		if opt > 1e-9 {
+			r.loss = shap.Run(u).NetWorth(u) / opt
+			r.hasLoss = true
+		}
+		return r
+	})
+	for nIdx, n := range ns {
 		maxGap := 0.0
 		sp, surplus := 0, 0
 		var lossRatios []float64
 		for p := 0; p < profiles; p++ {
-			u := mech.RandomProfile(rng, n, 30)
-			o := mc.Run(u)
-			opt := mech.BruteForceNetWorth(nw.AllReceivers(), u, func(R []int) float64 { return ut.Cost(R) })
-			if g := math.Abs(o.NetWorth(u) - opt); g > maxGap {
-				maxGap = g
-			}
-			if mech.CheckStrategyproof(mc, u, nil) != nil {
-				sp++
-			}
-			if o.TotalShares() > o.Cost+1e-7 {
-				surplus++
-			}
-			if opt > 1e-9 {
-				lossRatios = append(lossRatios, shap.Run(u).NetWorth(u)/opt)
+			r := out[nIdx*profiles+p]
+			maxGap = math.Max(maxGap, r.gap)
+			sp += r.sp
+			surplus += r.surplus
+			if r.hasLoss {
+				lossRatios = append(lossRatios, r.loss)
 			}
 		}
 		t.Add(fmt.Sprint(n), fmt.Sprint(profiles), stats.F(maxGap), fmt.Sprint(sp),
@@ -131,11 +172,13 @@ func E03UniversalMC(cfg Config) *stats.Table {
 
 // E04Fig1Collusion replays the paper's Fig. 1 worked example across a
 // sweep of deviations ε, reproducing exactly the published shares and the
-// group-strategyproofness failure.
+// group-strategyproofness failure. One (deterministic) cell per ε.
 func E04Fig1Collusion(cfg Config) *stats.Table {
 	t := stats.NewTable("E4 — Fig. 1 collusion replay (§2.2.2)",
 		"ε", "truthful shares", "colluding shares", "w(1,5,6): before→after", "x7 dropped", "GSP broken")
-	for _, eps := range []float64{0.01, 0.1, 0.5} {
+	epss := []float64{0.01, 0.1, 0.5}
+	rows := cells(cfg, 104, len(epss), func(task int, _ *rand.Rand) []string {
+		eps := epss[task]
 		inst, truth, collude := instances.Fig1NWST(eps)
 		m := nwstmech.New(inst, nwst.KleinRaviOracle)
 		honest := m.Run(truth)
@@ -152,12 +195,15 @@ func E04Fig1Collusion(cfg Config) *stats.Table {
 			}
 		}
 		gspBroken = gspBroken && improved
-		t.Add(stats.F(eps),
+		return []string{stats.F(eps),
 			fmt.Sprintf("all %s", stats.F(honest.Share(instances.Fig1T1))),
 			fmt.Sprintf("1,5,6: %s", stats.F(dev.Share(instances.Fig1T1))),
 			fmt.Sprintf("%s → %s", stats.F(honest.Welfare(truth, instances.Fig1T1)), stats.F(dev.Welfare(truth, instances.Fig1T1))),
 			fmt.Sprint(!dev.IsReceiver(instances.Fig1T7)),
-			fmt.Sprint(gspBroken))
+			fmt.Sprint(gspBroken)}
+	})
+	for _, r := range rows {
+		t.Add(r...)
 	}
 	t.Note("paper: truthful c=3/2 each, colluding c=4/3 for {1,5,6}, welfares 3/2 → 5/3; matches")
 	return t
@@ -165,43 +211,59 @@ func E04Fig1Collusion(cfg Config) *stats.Table {
 
 // E05NWSTMechanism measures the §2.2.2 mechanism's budget-balance ratio
 // against the exact NWST optimum and its strategyproofness, for both
-// spider oracles (ablation A2).
+// spider oracles (ablation A2). One cell per (k, oracle, trial).
 func E05NWSTMechanism(cfg Config) *stats.Table {
 	t := stats.NewTable("E5 — §2.2.2 NWST mechanism: Σshares/OPT vs β(k) (A2: oracle choice)",
 		"k", "oracle", "trials", "mean ratio", "max ratio", "β bound", "SP viol")
-	rng := rand.New(rand.NewSource(105))
 	trials := cfg.trials(12, 3)
 	oracles := []struct {
 		name string
 		o    nwst.Oracle
 	}{{"klein-ravi", nwst.KleinRaviOracle}, {"branch-spider", nwst.BranchSpiderOracle}}
-	for _, k := range []int{3, 5, 7} {
-		for _, or := range oracles {
-			var ratios []float64
-			sp := 0
-			for trial := 0; trial < trials; trial++ {
-				in := randomNWSTInstance(rng, 8+rng.Intn(5), k)
-				m := nwstmech.New(in, or.o)
-				rich := mech.UniformProfile(in.G.N(), 1e8)
-				o := m.Run(rich)
-				if len(o.Receivers) != k {
-					continue
-				}
-				opt, ok := nwst.ExactSmall(in, 18)
-				if !ok || opt <= 1e-12 {
-					continue
-				}
-				ratios = append(ratios, o.TotalShares()/opt)
+	ks := []int{3, 5, 7}
+	nRows := len(ks) * len(oracles)
+	type res struct {
+		ratio    float64
+		hasRatio bool
+		sp       int
+	}
+	out := cells(cfg, 105, nRows*trials, func(task int, rng *rand.Rand) res {
+		row := task / trials
+		k := ks[row/len(oracles)]
+		or := oracles[row%len(oracles)]
+		var r res
+		in := randomNWSTInstance(rng, 8+rng.Intn(5), k)
+		m := nwstmech.New(in, or.o)
+		rich := mech.UniformProfile(in.G.N(), 1e8)
+		o := m.Run(rich)
+		if len(o.Receivers) == k {
+			if opt, ok := nwst.ExactSmall(in, 18); ok && opt > 1e-12 {
+				r.ratio = o.TotalShares() / opt
+				r.hasRatio = true
 				truth := mech.RandomProfile(rng, in.G.N(), 6)
 				if mech.CheckStrategyproof(m, truth, nil) != nil {
-					sp++
+					r.sp++
 				}
 			}
-			s := stats.Summarize(ratios)
-			bound := 1 + 2*math.Log(float64(k))
-			t.Add(fmt.Sprint(k), or.name, fmt.Sprint(len(ratios)),
-				stats.F(s.Mean), stats.F(s.Max), stats.F(bound), fmt.Sprint(sp))
 		}
+		return r
+	})
+	for row := 0; row < nRows; row++ {
+		k := ks[row/len(oracles)]
+		or := oracles[row%len(oracles)]
+		var ratios []float64
+		sp := 0
+		for trial := 0; trial < trials; trial++ {
+			r := out[row*trials+trial]
+			if r.hasRatio {
+				ratios = append(ratios, r.ratio)
+			}
+			sp += r.sp
+		}
+		s := stats.Summarize(ratios)
+		bound := 1 + 2*math.Log(float64(k))
+		t.Add(fmt.Sprint(k), or.name, fmt.Sprint(len(ratios)),
+			stats.F(s.Mean), stats.F(s.Max), stats.F(bound), fmt.Sprint(sp))
 	}
 	t.Note("paper bound: 1.5·ln k with the exact GK oracle; our oracles stay within the 2·ln k envelope")
 	t.Note("nonzero SP counts are finding F3: simultaneous multi-terminal drops break Theorem 2.3's proof")

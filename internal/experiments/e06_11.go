@@ -19,48 +19,72 @@ import (
 )
 
 // E06WirelessBB measures the §2.2.3 wireless mechanism: Σshares/C*(R)
-// against the 3·ln(k+1) guarantee, cost recovery, axioms and SP.
+// against the 3·ln(k+1) guarantee, cost recovery, axioms and SP. This is
+// the heaviest experiment of the suite (exact optima at n = 12), so it
+// parallelizes at the finest grain: one cell per (model, n, trial).
 func E06WirelessBB(cfg Config) *stats.Table {
 	t := stats.NewTable("E6 — §2.2.3 wireless mechanism: Σshares/C* vs 3·ln(k+1)",
 		"model", "n", "trials", "mean ratio", "max ratio", "bound", "axiom viol", "SP viol")
-	rng := rand.New(rand.NewSource(106))
 	trials := cfg.trials(8, 2)
-	for _, model := range []string{"euclid-d2-a2", "symmetric"} {
-		for _, n := range []int{8, 10, 12} {
-			var ratios []float64
-			axiom, sp := 0, 0
-			for trial := 0; trial < trials; trial++ {
-				var nw *wireless.Network
-				if model == "euclid-d2-a2" {
-					nw = instances.RandomEuclidean(rng, n, 2, 2, 10)
-				} else {
-					nw = instances.RandomSymmetric(rng, n, 0.5, 10)
-				}
-				m := wmech.New(nw, nwst.KleinRaviOracle)
-				rich := mech.UniformProfile(n, 1e8)
-				o := m.Run(rich)
-				if len(o.Receivers) > 0 {
-					opt, _ := wireless.ExactMEMT(nw, o.Receivers)
-					if opt > 1e-12 {
-						ratios = append(ratios, o.TotalShares()/opt)
-					}
-				}
-				u := mech.RandomProfile(rng, n, 50)
-				ro := m.Run(u)
-				if mech.CheckNPT(ro) != nil || mech.CheckVP(u, ro) != nil {
-					axiom++
-				}
-				if len(ro.Receivers) > 0 && mech.CheckCostRecovery(ro) != nil {
-					axiom++
-				}
-				if trial == 0 && mech.CheckStrategyproof(m, u, nil) != nil {
-					sp++
-				}
-			}
-			s := stats.Summarize(ratios)
-			t.Add(model, fmt.Sprint(n), fmt.Sprint(len(ratios)), stats.F(s.Mean), stats.F(s.Max),
-				stats.F(wmech.BetaBound(n-1)), fmt.Sprint(axiom), fmt.Sprint(sp))
+	models := []string{"euclid-d2-a2", "symmetric"}
+	ns := []int{8, 10, 12}
+	nRows := len(models) * len(ns)
+	type res struct {
+		ratio     float64
+		hasRatio  bool
+		axiom, sp int
+	}
+	out := cells(cfg, 106, nRows*trials, func(task int, rng *rand.Rand) res {
+		row := task / trials
+		trial := task % trials
+		model := models[row/len(ns)]
+		n := ns[row%len(ns)]
+		var nw *wireless.Network
+		if model == "euclid-d2-a2" {
+			nw = instances.RandomEuclidean(rng, n, 2, 2, 10)
+		} else {
+			nw = instances.RandomSymmetric(rng, n, 0.5, 10)
 		}
+		var r res
+		m := wmech.New(nw, nwst.KleinRaviOracle)
+		rich := mech.UniformProfile(n, 1e8)
+		o := m.Run(rich)
+		if len(o.Receivers) > 0 {
+			opt, _ := wireless.ExactMEMT(nw, o.Receivers)
+			if opt > 1e-12 {
+				r.ratio = o.TotalShares() / opt
+				r.hasRatio = true
+			}
+		}
+		u := mech.RandomProfile(rng, n, 50)
+		ro := m.Run(u)
+		if mech.CheckNPT(ro) != nil || mech.CheckVP(u, ro) != nil {
+			r.axiom++
+		}
+		if len(ro.Receivers) > 0 && mech.CheckCostRecovery(ro) != nil {
+			r.axiom++
+		}
+		if trial == 0 && mech.CheckStrategyproof(m, u, nil) != nil {
+			r.sp++
+		}
+		return r
+	})
+	for row := 0; row < nRows; row++ {
+		model := models[row/len(ns)]
+		n := ns[row%len(ns)]
+		var ratios []float64
+		axiom, sp := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			r := out[row*trials+trial]
+			if r.hasRatio {
+				ratios = append(ratios, r.ratio)
+			}
+			axiom += r.axiom
+			sp += r.sp
+		}
+		s := stats.Summarize(ratios)
+		t.Add(model, fmt.Sprint(n), fmt.Sprint(len(ratios)), stats.F(s.Mean), stats.F(s.Max),
+			stats.F(wmech.BetaBound(n-1)), fmt.Sprint(axiom), fmt.Sprint(sp))
 	}
 	t.Note("paper: 3·ln(k+1)-BB with the 1.5·ln k oracle; measured ratios sit far below the bound")
 	t.Note("nonzero SP counts inherit finding F3 from the inner §2.2.2 mechanism (see EXPERIMENTS.md)")
@@ -69,39 +93,57 @@ func E06WirelessBB(cfg Config) *stats.Table {
 
 // E07Alpha1 validates Theorem 3.2 for α = 1: the airport Shapley
 // mechanism is exactly 1-BB and group strategyproof, the MC mechanism is
-// efficient, and the Shapley efficiency loss is reported.
+// efficient, and the Shapley efficiency loss is reported. One cell per
+// (n, profile); the per-n network comes from the row's setup seed.
 func E07Alpha1(cfg Config) *stats.Table {
 	t := stats.NewTable("E7 — Lemma 3.1/Thm 3.2 (α=1): airport mechanisms",
 		"n", "profiles", "max |Σc−C*|", "GSP viol", "MC eff gap", "mean NW(Sh)/NW(MC)")
-	rng := rand.New(rand.NewSource(107))
 	profiles := cfg.trials(25, 5)
-	for _, n := range []int{8, 16, 32} {
-		nw := instances.RandomEuclidean(rng, n, 2, 1, 10)
+	coalitions := cfg.trials(40, 8)
+	ns := []int{8, 16, 32}
+	type res struct {
+		bb, eff float64
+		gsp     int
+		loss    float64
+		hasLoss bool
+	}
+	out := cells(cfg, 107, len(ns)*profiles, func(task int, rng *rand.Rand) res {
+		nIdx := task / profiles
+		n := ns[nIdx]
+		nw := instances.RandomEuclidean(setupRNG(107, nIdx), n, 2, 1, 10)
 		g := euclid1.NewAirportGame(nw)
 		shap := g.ShapleyMechanism()
 		mc := g.MCMechanism()
+		u := mech.RandomProfile(rng, n, 15)
+		var r res
+		o := shap.Run(u)
+		opt := wireless.OptimalMulticastCost(nw, o.Receivers)
+		r.bb = math.Abs(o.TotalShares() - opt)
+		if mech.CheckGroupStrategyproof(shap, u, rng, coalitions, nil) != nil {
+			r.gsp++
+		}
+		om := mc.Run(u)
+		if n <= 16 {
+			best := mech.BruteForceNetWorth(nw.AllReceivers(), u, g.Cost)
+			r.eff = math.Abs(om.NetWorth(u) - best)
+		}
+		if nm := om.NetWorth(u); nm > 1e-9 {
+			r.loss = o.NetWorth(u) / nm
+			r.hasLoss = true
+		}
+		return r
+	})
+	for nIdx, n := range ns {
 		maxBB, maxEff := 0.0, 0.0
 		gsp := 0
 		var loss []float64
 		for p := 0; p < profiles; p++ {
-			u := mech.RandomProfile(rng, n, 15)
-			o := shap.Run(u)
-			opt := wireless.OptimalMulticastCost(nw, o.Receivers)
-			if gap := math.Abs(o.TotalShares() - opt); gap > maxBB {
-				maxBB = gap
-			}
-			if mech.CheckGroupStrategyproof(shap, u, rng, cfg.trials(40, 8), nil) != nil {
-				gsp++
-			}
-			om := mc.Run(u)
-			if n <= 16 {
-				best := mech.BruteForceNetWorth(nw.AllReceivers(), u, g.Cost)
-				if gap := math.Abs(om.NetWorth(u) - best); gap > maxEff {
-					maxEff = gap
-				}
-			}
-			if nm := om.NetWorth(u); nm > 1e-9 {
-				loss = append(loss, o.NetWorth(u)/nm)
+			r := out[nIdx*profiles+p]
+			maxBB = math.Max(maxBB, r.bb)
+			maxEff = math.Max(maxEff, r.eff)
+			gsp += r.gsp
+			if r.hasLoss {
+				loss = append(loss, r.loss)
 			}
 		}
 		t.Add(fmt.Sprint(n), fmt.Sprint(profiles), stats.F(maxBB), fmt.Sprint(gsp),
@@ -113,64 +155,89 @@ func E07Alpha1(cfg Config) *stats.Table {
 
 // E08Line validates the d = 1 case and measures two reproduction
 // findings: (a) the gap between the paper's Lemma 3.1 chain construction
-// and the true optimum (the canonical form is occasionally suboptimal),
-// and (b) an empirical submodularity probe of the *true* optimal cost.
+// and the true optimum — finding F1: the canonical form is occasionally
+// suboptimal — and (b) an empirical submodularity probe of the *true*
+// optimal cost. One cell per (n, α, trial).
 func E08Line(cfg Config) *stats.Table {
 	t := stats.NewTable("E8 — Lemma 3.1/Thm 3.2 (d=1): line mechanisms & canonical-form gap",
 		"n", "α", "trials", "max |Σc−C*|", "chain>opt (%)", "max chain/opt", "submod viol", "GSP viol")
-	rng := rand.New(rand.NewSource(108))
 	trials := cfg.trials(20, 4)
-	for _, n := range []int{8, 10} {
-		for _, alpha := range []float64{2, 3} {
-			maxBB := 0.0
-			chainWorse := 0
-			chainChecked := 0
-			maxChainRatio := 1.0
-			submod, gsp := 0, 0
-			for trial := 0; trial < trials; trial++ {
-				nw := instances.RandomLine(rng, n, alpha, 10)
-				g := euclid1.NewLineGame(nw)
-				m := g.ShapleyMechanism()
-				u := mech.RandomProfile(rng, n, 40)
-				o := m.Run(u)
-				if len(o.Receivers) > 0 {
-					opt := g.Cost(o.Receivers)
-					if gap := math.Abs(o.TotalShares() - opt); gap > maxBB {
-						maxBB = gap
-					}
-				}
-				// Canonical-form gap on a random receiver subset.
-				var R []int
-				for _, a := range nw.AllReceivers() {
-					if rng.Intn(2) == 0 {
-						R = append(R, a)
-					}
-				}
-				if len(R) > 0 {
-					opt, _ := wireless.LineOptimal(nw, R)
-					chain, _ := wireless.LineChainCanonical(nw, R)
-					chainChecked++
-					if chain > opt+1e-9 {
-						chainWorse++
-						if r := chain / opt; r > maxChainRatio {
-							maxChainRatio = r
-						}
-					}
-				}
-				if sharing.CheckSubmodular(g.Cost, nw.AllReceivers(), rng, cfg.trials(80, 15), 1e-9) != nil {
-					submod++
-				}
-				if mech.CheckGroupStrategyproof(m, u, rng, cfg.trials(30, 6), nil) != nil {
-					gsp++
-				}
-			}
-			pct := 0.0
-			if chainChecked > 0 {
-				pct = 100 * float64(chainWorse) / float64(chainChecked)
-			}
-			t.Add(fmt.Sprint(n), stats.F(alpha), fmt.Sprint(trials), stats.F(maxBB),
-				stats.F(pct), stats.F(maxChainRatio), fmt.Sprint(submod), fmt.Sprint(gsp))
+	submodSamples := cfg.trials(80, 15)
+	coalitions := cfg.trials(30, 6)
+	ns := []int{8, 10}
+	alphas := []float64{2, 3}
+	nRows := len(ns) * len(alphas)
+	type res struct {
+		bb           float64
+		chainChecked bool
+		chainWorse   bool
+		chainRatio   float64
+		submod, gsp  int
+	}
+	out := cells(cfg, 108, nRows*trials, func(task int, rng *rand.Rand) res {
+		row := task / trials
+		n := ns[row/len(alphas)]
+		alpha := alphas[row%len(alphas)]
+		nw := instances.RandomLine(rng, n, alpha, 10)
+		g := euclid1.NewLineGame(nw)
+		m := g.ShapleyMechanism()
+		u := mech.RandomProfile(rng, n, 40)
+		var r res
+		r.chainRatio = 1.0
+		o := m.Run(u)
+		if len(o.Receivers) > 0 {
+			opt := g.Cost(o.Receivers)
+			r.bb = math.Abs(o.TotalShares() - opt)
 		}
+		// Canonical-form gap on a random receiver subset.
+		var R []int
+		for _, a := range nw.AllReceivers() {
+			if rng.Intn(2) == 0 {
+				R = append(R, a)
+			}
+		}
+		if len(R) > 0 {
+			opt, _ := wireless.LineOptimal(nw, R)
+			chain, _ := wireless.LineChainCanonical(nw, R)
+			r.chainChecked = true
+			if chain > opt+1e-9 {
+				r.chainWorse = true
+				r.chainRatio = chain / opt
+			}
+		}
+		if sharing.CheckSubmodular(g.Cost, nw.AllReceivers(), rng, submodSamples, 1e-9) != nil {
+			r.submod++
+		}
+		if mech.CheckGroupStrategyproof(m, u, rng, coalitions, nil) != nil {
+			r.gsp++
+		}
+		return r
+	})
+	for row := 0; row < nRows; row++ {
+		n := ns[row/len(alphas)]
+		alpha := alphas[row%len(alphas)]
+		maxBB, maxChainRatio := 0.0, 1.0
+		chainWorse, chainChecked := 0, 0
+		submod, gsp := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			r := out[row*trials+trial]
+			maxBB = math.Max(maxBB, r.bb)
+			maxChainRatio = math.Max(maxChainRatio, r.chainRatio)
+			if r.chainChecked {
+				chainChecked++
+			}
+			if r.chainWorse {
+				chainWorse++
+			}
+			submod += r.submod
+			gsp += r.gsp
+		}
+		pct := 0.0
+		if chainChecked > 0 {
+			pct = 100 * float64(chainWorse) / float64(chainChecked)
+		}
+		t.Add(fmt.Sprint(n), stats.F(alpha), fmt.Sprint(trials), stats.F(maxBB),
+			stats.F(pct), stats.F(maxChainRatio), fmt.Sprint(submod), fmt.Sprint(gsp))
 	}
 	t.Note("finding: the paper's chain construction is not always optimal (see wireless.LineChainCanonical)")
 	t.Note("C* here is the exact interval-state optimum; submodularity violations would undercut Lemma 3.1's proof route")
@@ -179,7 +246,8 @@ func E08Line(cfg Config) *stats.Table {
 
 // E09PentagonCore reproduces Fig. 2 / Lemma 3.3: on the pentagon family
 // the 5-agent multicast game has an empty core, certified both by the
-// lemma's symmetry inequalities and by LP infeasibility.
+// lemma's symmetry inequalities and by LP infeasibility. The instances
+// are deterministic; one cell per radius m.
 func E09PentagonCore(cfg Config) *stats.Table {
 	t := stats.NewTable("E9 — Lemma 3.3 / Fig. 2: pentagon family core",
 		"m", "stations", "C*(R)", "C*(pair)", "C*(single)", "pair slack", "single slack", "core empty (LP)")
@@ -187,7 +255,8 @@ func E09PentagonCore(cfg Config) *stats.Table {
 	if cfg.Quick {
 		ms = []float64{6}
 	}
-	for _, m := range ms {
+	rows := cells(cfg, 109, len(ms), func(task int, _ *rand.Rand) []string {
+		m := ms[task]
 		p := instances.Pentagon(m, 2)
 		cost := func(R []int) float64 { return p.Cost(R) }
 		pairSlack, singleSlack := check.Lemma33Inequalities(p.Externals, cost)
@@ -195,8 +264,11 @@ func E09PentagonCore(cfg Config) *stats.Table {
 		grand := cost(p.Externals)
 		pair := cost(p.Externals[:2])
 		single := cost(p.Externals[:1])
-		t.Add(stats.F(m), fmt.Sprint(p.Net.N()), stats.F(grand), stats.F(pair), stats.F(single),
-			stats.F(pairSlack), stats.F(singleSlack), fmt.Sprint(!ok))
+		return []string{stats.F(m), fmt.Sprint(p.Net.N()), stats.F(grand), stats.F(pair), stats.F(single),
+			stats.F(pairSlack), stats.F(singleSlack), fmt.Sprint(!ok)}
+	})
+	for _, r := range rows {
+		t.Add(r...)
 	}
 	t.Note("lemma: pair slack < 0 and single slack > 0 force an empty core as m grows")
 	t.Note("the LP can certify emptiness before the pair inequality binds: larger coalitions secede first")
@@ -205,42 +277,61 @@ func E09PentagonCore(cfg Config) *stats.Table {
 
 // E10MSTRatio measures the MST broadcast heuristic (and the BIP baseline)
 // against exact optima across dimensions, testing the 3^d − 1 bound of
-// Lemma 3.4/[21] and the improved 6 at d = 2 [1].
+// Lemma 3.4/[21] and the improved 6 at d = 2 [1]. One cell per
+// ((d, α), trial).
 func E10MSTRatio(cfg Config) *stats.Table {
 	t := stats.NewTable("E10 — MST broadcast heuristic ratio vs 3^d−1 (and 6 at d=2)",
 		"d", "α", "n", "trials", "MST mean", "MST max", "BIP mean", "BIP max", "bound")
-	rng := rand.New(rand.NewSource(110))
 	trials := cfg.trials(25, 5)
+	type rowCfg struct {
+		d     int
+		alpha float64
+	}
+	var rowCfgs []rowCfg
 	for _, d := range []int{1, 2, 3} {
 		for _, alpha := range []float64{2, 4} {
 			if alpha < float64(d) {
 				continue // the bound's hypothesis α ≥ d
 			}
-			n := 9
-			var mstR, bipR []float64
-			for trial := 0; trial < trials; trial++ {
-				nw := instances.RandomEuclidean(rng, n, d, alpha, 10)
-				R := nw.AllReceivers()
-				opt, _ := wireless.ExactMEMT(nw, R)
-				if opt <= 1e-12 {
-					continue
-				}
-				_, am := wireless.MSTBroadcast(nw)
-				_, ab := wireless.BIPBroadcast(nw)
-				mstR = append(mstR, am.Total()/opt)
-				bipR = append(bipR, ab.Total()/opt)
-			}
-			bound := math.Pow(3, float64(d)) - 1
-			if d == 2 {
-				bound = 6
-			}
-			if d == 1 {
-				bound = 1 // MST on a line is the chain: optimal for broadcast? keep measured
-			}
-			sm, sb := stats.Summarize(mstR), stats.Summarize(bipR)
-			t.Add(fmt.Sprint(d), stats.F(alpha), fmt.Sprint(n), fmt.Sprint(len(mstR)),
-				stats.F(sm.Mean), stats.F(sm.Max), stats.F(sb.Mean), stats.F(sb.Max), stats.F(bound))
+			rowCfgs = append(rowCfgs, rowCfg{d, alpha})
 		}
+	}
+	const n = 9
+	type res struct {
+		mst, bip float64
+		valid    bool
+	}
+	out := cells(cfg, 110, len(rowCfgs)*trials, func(task int, rng *rand.Rand) res {
+		rc := rowCfgs[task/trials]
+		nw := instances.RandomEuclidean(rng, n, rc.d, rc.alpha, 10)
+		R := nw.AllReceivers()
+		opt, _ := wireless.ExactMEMT(nw, R)
+		if opt <= 1e-12 {
+			return res{}
+		}
+		_, am := wireless.MSTBroadcast(nw)
+		_, ab := wireless.BIPBroadcast(nw)
+		return res{mst: am.Total() / opt, bip: ab.Total() / opt, valid: true}
+	})
+	for ri, rc := range rowCfgs {
+		var mstR, bipR []float64
+		for trial := 0; trial < trials; trial++ {
+			r := out[ri*trials+trial]
+			if r.valid {
+				mstR = append(mstR, r.mst)
+				bipR = append(bipR, r.bip)
+			}
+		}
+		bound := math.Pow(3, float64(rc.d)) - 1
+		if rc.d == 2 {
+			bound = 6
+		}
+		if rc.d == 1 {
+			bound = 1 // MST on a line is the chain: optimal for broadcast? keep measured
+		}
+		sm, sb := stats.Summarize(mstR), stats.Summarize(bipR)
+		t.Add(fmt.Sprint(rc.d), stats.F(rc.alpha), fmt.Sprint(n), fmt.Sprint(len(mstR)),
+			stats.F(sm.Mean), stats.F(sm.Max), stats.F(sb.Mean), stats.F(sb.Max), stats.F(bound))
 	}
 	t.Note("paper: ratio ≤ 3^d−1 for α ≥ d [21], ≤ 6 for d=2 [1]; measured maxima must respect the bound")
 	return t
@@ -248,49 +339,74 @@ func E10MSTRatio(cfg Config) *stats.Table {
 
 // E11MoatMechanism validates Theorems 3.6/3.7: the JV moat mechanism is
 // within 2(3^d−1)-BB (12 at d = 2) of the exact optimum, cross-monotonic,
-// and group strategyproof; ablation A3 varies the weight maps f_i.
+// and group strategyproof; ablation A3 varies the weight maps f_i. One
+// cell per ((d, n), trial).
 func E11MoatMechanism(cfg Config) *stats.Table {
 	t := stats.NewTable("E11 — Thm 3.6/3.7 JV moat mechanism: Σshares/C* vs 2(3^d−1)",
 		"d", "n", "trials", "mean ratio", "max ratio", "bound", "xmono viol", "GSP viol", "A3 Δsplit")
-	rng := rand.New(rand.NewSource(111))
 	trials := cfg.trials(10, 3)
+	samples := cfg.trials(40, 8)
+	type rowCfg struct{ d, n int }
+	var rowCfgs []rowCfg
 	for _, d := range []int{2, 3} {
 		for _, n := range []int{8, 12} {
-			var ratios []float64
-			xmono, gsp := 0, 0
-			maxSplit := 0.0
-			for trial := 0; trial < trials; trial++ {
-				nw := instances.RandomEuclidean(rng, n, d, float64(d), 10)
-				m := jv.NewMechanism(nw, nil)
-				rich := mech.UniformProfile(n, 1e8)
-				o := m.Run(rich)
-				if len(o.Receivers) > 0 && n <= 14 {
-					opt, _ := wireless.ExactMEMT(nw, o.Receivers)
-					if opt > 1e-12 {
-						ratios = append(ratios, o.TotalShares()/opt)
-					}
-				}
-				if sharing.CheckCrossMonotone(jv.Method(nw, nil), nw.AllReceivers(), rng, cfg.trials(40, 8), 1e-9) != nil {
-					xmono++
-				}
-				u := mech.RandomProfile(rng, n, 60)
-				if mech.CheckGroupStrategyproof(m, u, rng, cfg.trials(40, 8), nil) != nil {
-					gsp++
-				}
-				// A3: weighted family keeps the same total, moves the split.
-				w := func(a int) float64 { return 1 + float64(a%3) }
-				uni := jv.Moats(nw, nw.AllReceivers(), nil)
-				wei := jv.Moats(nw, nw.AllReceivers(), w)
-				for _, a := range nw.AllReceivers() {
-					if dlt := math.Abs(uni.Shares[a] - wei.Shares[a]); dlt > maxSplit {
-						maxSplit = dlt
-					}
-				}
-			}
-			s := stats.Summarize(ratios)
-			t.Add(fmt.Sprint(d), fmt.Sprint(n), fmt.Sprint(trials), stats.F(s.Mean), stats.F(s.Max),
-				stats.F(jv.BetaBound(d)), fmt.Sprint(xmono), fmt.Sprint(gsp), stats.F(maxSplit))
+			rowCfgs = append(rowCfgs, rowCfg{d, n})
 		}
+	}
+	type res struct {
+		ratio      float64
+		hasRatio   bool
+		xmono, gsp int
+		split      float64
+	}
+	out := cells(cfg, 111, len(rowCfgs)*trials, func(task int, rng *rand.Rand) res {
+		rc := rowCfgs[task/trials]
+		nw := instances.RandomEuclidean(rng, rc.n, rc.d, float64(rc.d), 10)
+		m := jv.NewMechanism(nw, nil)
+		rich := mech.UniformProfile(rc.n, 1e8)
+		o := m.Run(rich)
+		var r res
+		if len(o.Receivers) > 0 && rc.n <= 14 {
+			opt, _ := wireless.ExactMEMT(nw, o.Receivers)
+			if opt > 1e-12 {
+				r.ratio = o.TotalShares() / opt
+				r.hasRatio = true
+			}
+		}
+		if sharing.CheckCrossMonotone(jv.Method(nw, nil), nw.AllReceivers(), rng, samples, 1e-9) != nil {
+			r.xmono++
+		}
+		u := mech.RandomProfile(rng, rc.n, 60)
+		if mech.CheckGroupStrategyproof(m, u, rng, samples, nil) != nil {
+			r.gsp++
+		}
+		// A3: weighted family keeps the same total, moves the split.
+		w := func(a int) float64 { return 1 + float64(a%3) }
+		uni := jv.Moats(nw, nw.AllReceivers(), nil)
+		wei := jv.Moats(nw, nw.AllReceivers(), w)
+		for _, a := range nw.AllReceivers() {
+			if dlt := math.Abs(uni.Shares[a] - wei.Shares[a]); dlt > r.split {
+				r.split = dlt
+			}
+		}
+		return r
+	})
+	for ri, rc := range rowCfgs {
+		var ratios []float64
+		xmono, gsp := 0, 0
+		maxSplit := 0.0
+		for trial := 0; trial < trials; trial++ {
+			r := out[ri*trials+trial]
+			if r.hasRatio {
+				ratios = append(ratios, r.ratio)
+			}
+			xmono += r.xmono
+			gsp += r.gsp
+			maxSplit = math.Max(maxSplit, r.split)
+		}
+		s := stats.Summarize(ratios)
+		t.Add(fmt.Sprint(rc.d), fmt.Sprint(rc.n), fmt.Sprint(trials), stats.F(s.Mean), stats.F(s.Max),
+			stats.F(jv.BetaBound(rc.d)), fmt.Sprint(xmono), fmt.Sprint(gsp), stats.F(maxSplit))
 	}
 	t.Note("paper: 2(3^d−1)-BB (12 at d=2); the f_i family shifts shares without changing the total")
 	return t
@@ -298,26 +414,37 @@ func E11MoatMechanism(cfg Config) *stats.Table {
 
 // A01TreeChoice is the universal-tree ablation: SPT versus MST universal
 // trees change the induced broadcast cost and therefore every Shapley
-// share; the table quantifies by how much.
+// share; the table quantifies by how much. One cell per (n, trial).
 func A01TreeChoice(cfg Config) *stats.Table {
 	t := stats.NewTable("A1 — ablation: universal tree choice (SPT vs MST)",
 		"n", "trials", "mean C_spt/C*", "mean C_mst/C*", "mean C_spt/C_mst")
-	rng := rand.New(rand.NewSource(112))
 	trials := cfg.trials(15, 4)
-	for _, n := range []int{8, 12} {
+	ns := []int{8, 12}
+	type res struct {
+		rs, rm, rr float64
+		valid      bool
+	}
+	out := cells(cfg, 115, len(ns)*trials, func(task int, rng *rand.Rand) res {
+		n := ns[task/trials]
+		nw := instances.RandomEuclidean(rng, n, 2, 2, 10)
+		R := nw.AllReceivers()
+		opt, _ := wireless.ExactMEMT(nw, R)
+		if opt <= 1e-12 {
+			return res{}
+		}
+		cs := universal.SPT(nw).Cost(R)
+		cm := universal.MST(nw).Cost(R)
+		return res{rs: cs / opt, rm: cm / opt, rr: cs / cm, valid: true}
+	})
+	for nIdx, n := range ns {
 		var rs, rm, rr []float64
 		for trial := 0; trial < trials; trial++ {
-			nw := instances.RandomEuclidean(rng, n, 2, 2, 10)
-			R := nw.AllReceivers()
-			opt, _ := wireless.ExactMEMT(nw, R)
-			if opt <= 1e-12 {
-				continue
+			r := out[nIdx*trials+trial]
+			if r.valid {
+				rs = append(rs, r.rs)
+				rm = append(rm, r.rm)
+				rr = append(rr, r.rr)
 			}
-			cs := universal.SPT(nw).Cost(R)
-			cm := universal.MST(nw).Cost(R)
-			rs = append(rs, cs/opt)
-			rm = append(rm, cm/opt)
-			rr = append(rr, cs/cm)
 		}
 		t.Add(fmt.Sprint(n), fmt.Sprint(len(rs)),
 			stats.F(stats.Summarize(rs).Mean), stats.F(stats.Summarize(rm).Mean),

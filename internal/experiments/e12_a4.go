@@ -17,49 +17,73 @@ import (
 // ecosystem relies on — KMB-Steiner (§3.2's heuristic), pruned MST,
 // pruned BIP [50] and pruned SPT [43] — against the exact optimum. The
 // "who wins where" shape: Steiner and BIP lead at α ≥ 2 where relaying
-// pays, SPT leads at α = 1 where direct paths are optimal.
+// pays, SPT leads at α = 1 where direct paths are optimal. One cell per
+// ((α, k), trial).
 func E12MulticastHeuristics(cfg Config) *stats.Table {
 	t := stats.NewTable("E12 — multicast heuristics vs exact optimum (ratio to C*)",
 		"α", "k", "trials", "steiner-kmb", "mst-pruned", "bip-pruned", "spt-pruned", "winner")
-	rng := rand.New(rand.NewSource(112))
 	trials := cfg.trials(20, 5)
+	type rowCfg struct {
+		alpha float64
+		k     int
+	}
+	var rowCfgs []rowCfg
 	for _, alpha := range []float64{1, 2, 4} {
 		for _, k := range []int{3, 6} {
-			sums := map[string]float64{}
-			counts := 0
-			for trial := 0; trial < trials; trial++ {
-				nw := instances.RandomEuclidean(rng, 10, 2, alpha, 10)
-				perm := rng.Perm(nw.N() - 1)
-				R := make([]int, 0, k)
-				for _, p := range perm[:k] {
-					R = append(R, p+1)
-				}
-				sort.Ints(R)
-				opt, _ := wireless.ExactMEMT(nw, R)
-				if opt <= 1e-12 {
-					continue
-				}
-				counts++
-				for _, h := range wireless.MulticastHeuristics {
-					_, a := h.Build(nw, R)
-					sums[h.Name] += a.Total() / opt
-				}
-			}
-			if counts == 0 {
+			rowCfgs = append(rowCfgs, rowCfg{alpha, k})
+		}
+	}
+	type res struct {
+		ratios []float64 // per heuristic, in MulticastHeuristics order
+		valid  bool
+	}
+	out := cells(cfg, 112, len(rowCfgs)*trials, func(task int, rng *rand.Rand) res {
+		rc := rowCfgs[task/trials]
+		nw := instances.RandomEuclidean(rng, 10, 2, rc.alpha, 10)
+		perm := rng.Perm(nw.N() - 1)
+		R := make([]int, 0, rc.k)
+		for _, p := range perm[:rc.k] {
+			R = append(R, p+1)
+		}
+		sort.Ints(R)
+		opt, _ := wireless.ExactMEMT(nw, R)
+		if opt <= 1e-12 {
+			return res{}
+		}
+		r := res{valid: true}
+		for _, h := range wireless.MulticastHeuristics {
+			_, a := h.Build(nw, R)
+			r.ratios = append(r.ratios, a.Total()/opt)
+		}
+		return r
+	})
+	for ri, rc := range rowCfgs {
+		sums := make([]float64, len(wireless.MulticastHeuristics))
+		counts := 0
+		for trial := 0; trial < trials; trial++ {
+			r := out[ri*trials+trial]
+			if !r.valid {
 				continue
 			}
-			row := []string{stats.F(alpha), fmt.Sprint(k), fmt.Sprint(counts)}
-			bestName, bestVal := "", 1e308
-			for _, h := range wireless.MulticastHeuristics {
-				mean := sums[h.Name] / float64(counts)
-				row = append(row, stats.F(mean))
-				if mean < bestVal {
-					bestName, bestVal = h.Name, mean
-				}
+			counts++
+			for hi, v := range r.ratios {
+				sums[hi] += v
 			}
-			row = append(row, bestName)
-			t.Add(row...)
 		}
+		if counts == 0 {
+			continue
+		}
+		row := []string{stats.F(rc.alpha), fmt.Sprint(rc.k), fmt.Sprint(counts)}
+		bestName, bestVal := "", 1e308
+		for hi, h := range wireless.MulticastHeuristics {
+			mean := sums[hi] / float64(counts)
+			row = append(row, stats.F(mean))
+			if mean < bestVal {
+				bestName, bestVal = h.Name, mean
+			}
+		}
+		row = append(row, bestName)
+		t.Add(row...)
 	}
 	t.Note("shape check: bip and spt tie at ratio 1 for α=1 (direct transmission is optimal, Lemma 3.1)")
 	t.Note("at α ≥ 2 relaying pays and the incremental/Steiner heuristics pull ahead of spt")
@@ -71,14 +95,22 @@ func E12MulticastHeuristics(cfg Config) *stats.Table {
 // minimizes worst-case efficiency loss. We compare M(Shapley) against
 // M(Incremental) under adversarial priority orders on universal-tree
 // games and report realized welfare relative to the efficient (MC)
-// optimum.
+// optimum. One cell per (n, profile); the per-n game is rebuilt from the
+// row's setup seed.
 func A04EfficiencyLoss(cfg Config) *stats.Table {
 	t := stats.NewTable("A4 — ablation: efficiency loss of BB mechanisms (Shapley vs incremental [38])",
 		"n", "profiles", "mean NW(Shapley)/OPT", "mean NW(incremental)/OPT", "Shapley wins (%)")
-	rng := rand.New(rand.NewSource(113))
 	profiles := cfg.trials(30, 6)
-	for _, n := range []int{8, 12} {
-		nw := instances.RandomEuclidean(rng, n, 2, 2, 10)
+	ns := []int{8, 12}
+	type res struct {
+		rs, ri float64
+		win    bool
+		valid  bool
+	}
+	out := cells(cfg, 113, len(ns)*profiles, func(task int, rng *rand.Rand) res {
+		nIdx := task / profiles
+		n := ns[nIdx]
+		nw := instances.RandomEuclidean(setupRNG(113, nIdx), n, 2, 2, 10)
 		ut := universal.SPT(nw)
 		agents := nw.AllReceivers()
 		cost := ut.CostFunc()
@@ -96,19 +128,26 @@ func A04EfficiencyLoss(cfg Config) *stats.Table {
 			Xi:   sharing.NewIncremental(order, cost),
 			Cost: cost,
 		}
+		u := mech.RandomProfile(rng, n, 20)
+		opt := mech.BruteForceNetWorth(agents, u, cost)
+		if opt <= 1e-9 {
+			return res{}
+		}
+		nwShap := shap.Run(u).NetWorth(u)
+		nwIncr := incr.Run(u).NetWorth(u)
+		return res{rs: nwShap / opt, ri: nwIncr / opt, win: nwShap >= nwIncr-1e-9, valid: true}
+	})
+	for nIdx, n := range ns {
 		var rs, ri []float64
 		wins := 0
 		for p := 0; p < profiles; p++ {
-			u := mech.RandomProfile(rng, n, 20)
-			opt := mech.BruteForceNetWorth(agents, u, cost)
-			if opt <= 1e-9 {
+			r := out[nIdx*profiles+p]
+			if !r.valid {
 				continue
 			}
-			ns := shap.Run(u).NetWorth(u)
-			ni := incr.Run(u).NetWorth(u)
-			rs = append(rs, ns/opt)
-			ri = append(ri, ni/opt)
-			if ns >= ni-1e-9 {
+			rs = append(rs, r.rs)
+			ri = append(ri, r.ri)
+			if r.win {
 				wins++
 			}
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, whose slowdown makes wall-clock assertions meaningless.
+const raceEnabled = true

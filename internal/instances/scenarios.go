@@ -1,0 +1,229 @@
+package instances
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wmcs/internal/geom"
+	"wmcs/internal/wireless"
+)
+
+// Scenario is a named random-instance family in the registry. Gen draws
+// one network of about n stations with distance-power gradient alpha from
+// rng; station geometry (and for "symmetric" the lack of it) is what
+// distinguishes the families. Every generator makes station 0 the source,
+// except "line", which keeps the seed behaviour of a uniformly random
+// source on the segment.
+type Scenario struct {
+	Name string
+	Desc string
+	// Euclidean reports whether instances carry coordinates (false only
+	// for the abstract symmetric family, where alpha is ignored).
+	Euclidean bool
+	Gen       func(rng *rand.Rand, n int, alpha float64) *wireless.Network
+}
+
+// scenarios is the registry, in presentation order. The first three are
+// the seed's original models; the rest widen the topology coverage of the
+// sweeps (hotspot clusters, lattices, rings, highways, variable-density
+// disks).
+var scenarios = []Scenario{
+	{
+		Name: "uniform", Desc: "n stations uniform in the square [0,10]²", Euclidean: true,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomEuclidean(rng, n, 2, alpha, 10)
+		},
+	},
+	{
+		Name: "line", Desc: "n stations uniform on a length-10 segment (d = 1)", Euclidean: true,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomLine(rng, n, alpha, 10)
+		},
+	},
+	{
+		Name: "symmetric", Desc: "abstract symmetric costs uniform in [0.5, 10] (non-metric)", Euclidean: false,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomSymmetric(rng, n, 0.5, 10)
+		},
+	},
+	{
+		Name: "clustered", Desc: "hotspot clusters: 3 dense gaussian blobs in [0,10]²", Euclidean: true,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomClustered(rng, n, alpha, 10, 3, 0.6)
+		},
+	},
+	{
+		Name: "grid", Desc: "jittered √n×√n lattice over [0,10]²", Euclidean: true,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomGrid(rng, n, alpha, 10, 0.25)
+		},
+	},
+	{
+		Name: "ring", Desc: "source at the centre, receivers on a wobbly radius-5 ring", Euclidean: true,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomRing(rng, n, alpha, 5, 0.15)
+		},
+	},
+	{
+		Name: "highway", Desc: "length-10 highway with perpendicular exit spurs", Euclidean: true,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomHighway(rng, n, alpha, 10, 3)
+		},
+	},
+	{
+		Name: "disk", Desc: "radius-5 disk, density rising toward the centre (γ = 2)", Euclidean: true,
+		Gen: func(rng *rand.Rand, n int, alpha float64) *wireless.Network {
+			return RandomDisk(rng, n, alpha, 5, 2)
+		},
+	},
+}
+
+// Scenarios returns the registry in presentation order (shared slice, do
+// not modify).
+func Scenarios() []Scenario { return scenarios }
+
+// ScenarioNames lists the registry names in order.
+func ScenarioNames() []string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName looks a scenario up by its registry name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("instances: unknown scenario %q (have %v)", name, ScenarioNames())
+}
+
+// RandomClustered draws a hotspot topology: `clusters` gaussian blobs
+// with standard deviation spread whose centres are uniform in [0,side]².
+// Station 0 (the source) sits at the first centre; the remaining stations
+// are dealt to the blobs round-robin so every blob is populated. Clamped
+// to the square so costs stay comparable with the uniform family.
+func RandomClustered(rng *rand.Rand, n int, alpha, side float64, clusters int, spread float64) *wireless.Network {
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := make([]geom.Point, clusters)
+	for i := range centers {
+		centers[i] = geom.Point{rng.Float64() * side, rng.Float64() * side}
+	}
+	clamp := func(v float64) float64 { return math.Min(side, math.Max(0, v)) }
+	pts := make([]geom.Point, n)
+	pts[0] = centers[0].Clone()
+	for i := 1; i < n; i++ {
+		c := centers[i%clusters]
+		pts[i] = geom.Point{
+			clamp(c[0] + rng.NormFloat64()*spread),
+			clamp(c[1] + rng.NormFloat64()*spread),
+		}
+	}
+	return wireless.NewEuclidean(pts, geom.NewPowerCost(alpha), 0)
+}
+
+// RandomGrid places n stations on the first n cells of the smallest
+// square lattice covering [0,side]², each jittered uniformly by at most
+// jitter·cellsize in both coordinates — the "planned deployment with
+// installation error" topology. Station 0 is the corner cell.
+func RandomGrid(rng *rand.Rand, n int, alpha, side, jitter float64) *wireless.Network {
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	cell := side / float64(cols)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := (float64(i%cols) + 0.5) * cell
+		y := (float64(i/cols) + 0.5) * cell
+		pts[i] = geom.Point{
+			x + (rng.Float64()*2-1)*jitter*cell,
+			y + (rng.Float64()*2-1)*jitter*cell,
+		}
+	}
+	return wireless.NewEuclidean(pts, geom.NewPowerCost(alpha), 0)
+}
+
+// RandomRing puts the source at the origin and n−1 receivers near the
+// circle of the given radius: angles uniform, radii wobbled by the
+// relative factor wobble. The broadcast optimum on this family needs
+// either one huge source transmission or a relayed walk around the rim,
+// which is exactly the trade-off the MST/BIP heuristics resolve
+// differently.
+func RandomRing(rng *rand.Rand, n int, alpha, radius, wobble float64) *wireless.Network {
+	pts := make([]geom.Point, n)
+	pts[0] = geom.Point{0, 0}
+	for i := 1; i < n; i++ {
+		a := rng.Float64() * 2 * math.Pi
+		r := radius * (1 + (rng.Float64()*2-1)*wobble)
+		pts[i] = geom.Point{r * math.Cos(a), r * math.Sin(a)}
+	}
+	return wireless.NewEuclidean(pts, geom.NewPowerCost(alpha), 0)
+}
+
+// RandomHighway models a road deployment: the source at kilometre zero of
+// a straight highway of the given length, most stations scattered along
+// it with small lateral offsets, and `exits` perpendicular spur roads at
+// random positions carrying the remaining stations outward. Spur stations
+// are reachable only through their exit region, stretching multicast
+// trees into combs.
+func RandomHighway(rng *rand.Rand, n int, alpha, length float64, exits int) *wireless.Network {
+	if exits < 0 {
+		exits = 0
+	}
+	exitAt := make([]float64, exits)
+	for i := range exitAt {
+		exitAt[i] = rng.Float64() * length
+	}
+	pts := make([]geom.Point, n)
+	pts[0] = geom.Point{0, 0}
+	// About a third of the stations live on spurs (none when there are
+	// no exits to carry them).
+	spur := n / 3
+	if exits == 0 {
+		spur = 0
+	}
+	for i := 1; i < n; i++ {
+		if i <= n-1-spur {
+			pts[i] = geom.Point{rng.Float64() * length, (rng.Float64()*2 - 1) * 0.2}
+		} else {
+			e := exitAt[rng.Intn(exits)]
+			side := 1.0
+			if rng.Intn(2) == 0 {
+				side = -1
+			}
+			pts[i] = geom.Point{
+				e + (rng.Float64()*2-1)*0.2,
+				side * (0.5 + rng.Float64()*0.3*length),
+			}
+		}
+	}
+	return wireless.NewEuclidean(pts, geom.NewPowerCost(alpha), 0)
+}
+
+// RandomDisk draws n stations in the disk of the given radius with a
+// radial density knob: radii follow r = radius·u^((2+gamma)/4) for
+// uniform u, i.e. the radial pdf is ∝ r^(2−gamma)/(2+gamma). gamma = 0 is
+// the uniform disk, gamma > 0 concentrates stations at the centre (urban
+// core), gamma < 0 (down to > −2) pushes them to the rim. The source is
+// the station closest to the centre, reindexed to 0.
+func RandomDisk(rng *rand.Rand, n int, alpha, radius, gamma float64) *wireless.Network {
+	if gamma <= -2 {
+		gamma = -1.9
+	}
+	pts := make([]geom.Point, n)
+	best, bestR := 0, math.Inf(1)
+	for i := range pts {
+		a := rng.Float64() * 2 * math.Pi
+		r := radius * math.Pow(rng.Float64(), (2+gamma)/4)
+		pts[i] = geom.Point{r * math.Cos(a), r * math.Sin(a)}
+		if r < bestR {
+			best, bestR = i, r
+		}
+	}
+	pts[0], pts[best] = pts[best], pts[0]
+	return wireless.NewEuclidean(pts, geom.NewPowerCost(alpha), 0)
+}

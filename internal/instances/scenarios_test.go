@@ -1,0 +1,147 @@
+package instances
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/geom"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != len(Scenarios()) {
+		t.Fatal("names and registry disagree")
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate scenario name %q", name)
+		}
+		seen[name] = true
+		s, err := ScenarioByName(name)
+		if err != nil || s.Name != name {
+			t.Fatalf("ScenarioByName(%q) = %+v, %v", name, s, err)
+		}
+	}
+	for _, want := range []string{"uniform", "line", "symmetric", "clustered", "grid", "ring", "highway", "disk"} {
+		if !seen[want] {
+			t.Errorf("registry missing scenario %q", want)
+		}
+	}
+	if _, err := ScenarioByName("no-such"); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
+// Every scenario must generate valid networks: right size, source 0,
+// symmetric nonnegative costs, coordinates iff Euclidean — and the draw
+// must be a pure function of the rng state.
+func TestScenarioGeneratorsValidAndDeterministic(t *testing.T) {
+	for _, s := range Scenarios() {
+		for _, n := range []int{2, 9, 16} {
+			nw := s.Gen(rand.New(rand.NewSource(7)), n, 2)
+			if nw.N() != n {
+				t.Fatalf("%s: N = %d, want %d", s.Name, nw.N(), n)
+			}
+			if s.Name == "line" {
+				if src := nw.Source(); src < 0 || src >= n {
+					t.Fatalf("line: source %d out of range", src)
+				}
+			} else if nw.Source() != 0 {
+				t.Fatalf("%s: source = %d, want 0", s.Name, nw.Source())
+			}
+			if nw.IsEuclidean() != s.Euclidean {
+				t.Fatalf("%s: IsEuclidean = %v, registry says %v", s.Name, nw.IsEuclidean(), s.Euclidean)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if c := nw.C(i, j); c < 0 || math.IsNaN(c) || nw.C(j, i) != c {
+						t.Fatalf("%s: bad cost C(%d,%d) = %g", s.Name, i, j, c)
+					}
+				}
+			}
+			again := s.Gen(rand.New(rand.NewSource(7)), n, 2)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if nw.C(i, j) != again.C(i, j) {
+						t.Fatalf("%s: generation is not deterministic in the seed", s.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandomClusteredShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw := RandomClustered(rng, 30, 2, 10, 3, 0.4)
+	for _, p := range nw.Points() {
+		for _, v := range p {
+			if v < 0 || v > 10 {
+				t.Fatalf("clustered point %v escapes the square", p)
+			}
+		}
+	}
+}
+
+func TestRandomGridShape(t *testing.T) {
+	nw := RandomGrid(rand.New(rand.NewSource(4)), 9, 2, 9, 0)
+	// jitter 0: exact 3×3 lattice with cell 3, so nearest-neighbour
+	// distance is exactly 3.
+	d := geom.Dist(nw.Points()[0], nw.Points()[1])
+	if math.Abs(d-3) > 1e-12 {
+		t.Fatalf("unjittered grid spacing = %g, want 3", d)
+	}
+}
+
+func TestRandomRingShape(t *testing.T) {
+	nw := RandomRing(rand.New(rand.NewSource(5)), 12, 2, 5, 0.1)
+	if nw.Points()[0].Norm() != 0 {
+		t.Fatal("ring source must sit at the centre")
+	}
+	for _, p := range nw.Points()[1:] {
+		r := p.Norm()
+		if r < 5*0.89 || r > 5*1.11 {
+			t.Fatalf("ring station at radius %g outside the wobble band", r)
+		}
+	}
+}
+
+func TestRandomHighwayShape(t *testing.T) {
+	nw := RandomHighway(rand.New(rand.NewSource(6)), 24, 2, 10, 3)
+	if nw.Points()[0][0] != 0 || nw.Points()[0][1] != 0 {
+		t.Fatal("highway source must sit at kilometre zero")
+	}
+	onRoad, onSpur := 0, 0
+	for _, p := range nw.Points()[1:] {
+		if math.Abs(p[1]) <= 0.2 {
+			onRoad++
+		} else {
+			onSpur++
+		}
+	}
+	if onRoad == 0 || onSpur == 0 {
+		t.Fatalf("highway needs both road (%d) and spur (%d) stations", onRoad, onSpur)
+	}
+}
+
+func TestRandomDiskDensityKnob(t *testing.T) {
+	meanR := func(gamma float64) float64 {
+		nw := RandomDisk(rand.New(rand.NewSource(8)), 400, 2, 5, gamma)
+		var sum float64
+		for _, p := range nw.Points() {
+			sum += p.Norm()
+		}
+		return sum / float64(nw.N())
+	}
+	core, uniform, rim := meanR(4), meanR(0), meanR(-1)
+	if !(core < uniform && uniform < rim) {
+		t.Fatalf("density knob inverted: mean radii core=%g uniform=%g rim=%g", core, uniform, rim)
+	}
+	for _, p := range RandomDisk(rand.New(rand.NewSource(9)), 50, 2, 5, 0).Points() {
+		if p.Norm() > 5+1e-9 {
+			t.Fatalf("disk point %v outside the radius", p)
+		}
+	}
+}

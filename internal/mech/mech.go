@@ -45,11 +45,18 @@ func (o Outcome) IsReceiver(i int) bool {
 // Share returns agent i's cost share (0 for non-receivers).
 func (o Outcome) Share(i int) float64 { return o.Shares[i] }
 
-// TotalShares returns Σ_i shares.
+// TotalShares returns Σ_i shares, summed in agent order so the float
+// result is identical across runs (map iteration order would otherwise
+// perturb the low bits and break reproducible table output).
 func (o Outcome) TotalShares() float64 {
+	ids := make([]int, 0, len(o.Shares))
+	for i := range o.Shares {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
 	var s float64
-	for _, c := range o.Shares {
-		s += c
+	for _, i := range ids {
+		s += o.Shares[i]
 	}
 	return s
 }

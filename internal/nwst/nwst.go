@@ -540,12 +540,15 @@ func Solve(in Instance, oracle Oracle) (Solution, bool) {
 		s.Shrink(sp)
 	}
 	var nodes []int
-	var cost float64
 	for v := range chosen {
 		nodes = append(nodes, v)
-		cost += in.Weights[v]
 	}
 	sort.Ints(nodes)
+	// Sum in node order: map order would perturb the float low bits.
+	var cost float64
+	for _, v := range nodes {
+		cost += in.Weights[v]
+	}
 	return Solution{Nodes: nodes, Cost: cost}, true
 }
 

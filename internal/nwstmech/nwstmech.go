@@ -272,12 +272,15 @@ func (m *Mechanism) attempt(u mech.Profile, active map[int]bool, freeTerms []int
 		}
 	}
 	var nodes []int
-	var cost float64
 	for v := range chosen {
 		nodes = append(nodes, v)
-		cost += m.inst.Weights[v]
 	}
 	sort.Ints(nodes)
+	// Sum in node order: map order would perturb the float low bits.
+	var cost float64
+	for _, v := range nodes {
+		cost += m.inst.Weights[v]
+	}
 	receivers := make([]int, 0, len(active))
 	for a := range active {
 		receivers = append(receivers, a)

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -153,4 +154,47 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// tableJSON is the stable machine-readable shape of a Table. Rows stay
+// strings: cells are already formatted measurements (F keeps them exact
+// enough), and strings round-trip the mixed numeric/text columns the
+// tables actually contain.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON encodes the table as {title, columns, rows, notes}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Columns: t.Columns, Rows: rows, Notes: t.Notes})
+}
+
+// UnmarshalJSON decodes the MarshalJSON shape, so consumers can round-trip
+// saved experiment output.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	*t = Table{Title: tj.Title, Columns: tj.Columns, Rows: tj.Rows, Notes: tj.Notes}
+	return nil
+}
+
+// RenderJSON writes the table as a single JSON object followed by a
+// newline (JSON-lines friendly).
+func (t *Table) RenderJSON(w io.Writer) error {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -82,5 +83,40 @@ func TestTableRender(t *testing.T) {
 	tab2.Add("x", "dropped")
 	if tab2.Rows[0][0] != "x" || len(tab2.Rows[0]) != 1 {
 		t.Error("row normalization wrong")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := NewTable("T — demo", "a", "b")
+	tab.Add("1", "x")
+	tab.Add("2")
+	tab.Note("n=%d", 2)
+	var buf bytes.Buffer
+	if err := tab.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatal("RenderJSON must end with a newline")
+	}
+	var back Table
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != tab.Title || len(back.Rows) != 2 || back.Rows[1][1] != "" {
+		t.Fatalf("round trip mangled table: %+v", back)
+	}
+	if len(back.Notes) != 1 || back.Notes[0] != "n=2" {
+		t.Fatalf("notes lost: %+v", back.Notes)
+	}
+}
+
+func TestTableJSONEmptyRows(t *testing.T) {
+	b, err := json.Marshal(NewTable("empty", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"rows":[]`) {
+		t.Fatalf("empty table must encode rows as [], got %s", b)
 	}
 }
