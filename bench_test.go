@@ -20,6 +20,7 @@ import (
 	"wmcs/internal/mst"
 	"wmcs/internal/nwst"
 	"wmcs/internal/nwstmech"
+	"wmcs/internal/query"
 	"wmcs/internal/sharing"
 	"wmcs/internal/steiner"
 	"wmcs/internal/universal"
@@ -33,6 +34,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	cfg := experiments.Config{Quick: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab := e.Run(cfg)
@@ -59,14 +61,78 @@ func BenchmarkA04EfficiencyLoss(b *testing.B)      { benchExperiment(b, "A4") }
 // BenchmarkRunAllSerial/Parallel expose the engine speedup: identical
 // bytes, different wall clock (compare ns/op at -cpu settings ≥ 4).
 func BenchmarkRunAllSerial(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAll(io.Discard, experiments.Config{Quick: true, Workers: 1})
 	}
 }
 
 func BenchmarkRunAllParallel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAll(io.Discard, experiments.Config{Quick: true})
+	}
+}
+
+// --- the amortized query path vs the one-shot path ---
+
+// repeatedQuerySetup builds one network and a fixed set of profiles, the
+// shape of the E6/E13 hot path: many receiver-set queries against one
+// fixed network.
+func repeatedQuerySetup() (*wireless.Network, []mech.Profile) {
+	rng := rand.New(rand.NewSource(21))
+	nw := instances.RandomEuclidean(rng, 10, 2, 2, 10)
+	profiles := make([]mech.Profile, 8)
+	for i := range profiles {
+		profiles[i] = mech.RandomProfile(rng, nw.N(), 50)
+	}
+	return nw, profiles
+}
+
+// BenchmarkOneShotQueries rebuilds the whole pipeline (reduction, states)
+// for every query — the pre-Evaluator pattern.
+func BenchmarkOneShotQueries(b *testing.B) {
+	nw, profiles := repeatedQuerySetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range profiles {
+			m := wmech.New(nw, nwst.KleinRaviOracle)
+			m.Run(u)
+		}
+	}
+}
+
+// BenchmarkEvaluatorRepeatedQueries serves the same queries from one
+// Evaluator, amortizing the reduction and the contraction-state pool.
+// Compare allocs/op and ns/op with BenchmarkOneShotQueries.
+func BenchmarkEvaluatorRepeatedQueries(b *testing.B) {
+	nw, profiles := repeatedQuerySetup()
+	ev := query.NewEvaluator(nw, query.WithOracle(nwst.KleinRaviOracle))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range profiles {
+			if _, err := ev.Evaluate("wireless-bb", nil, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEvaluatorBatch is the same workload through EvaluateBatch on a
+// GOMAXPROCS-wide pool (byte-identical outcomes to the serial loop).
+func BenchmarkEvaluatorBatch(b *testing.B) {
+	nw, profiles := repeatedQuerySetup()
+	ev := query.NewEvaluator(nw, query.WithOracle(nwst.KleinRaviOracle))
+	reqs := make([]query.Request, len(profiles))
+	for i, u := range profiles {
+		reqs[i] = query.Request{Mech: "wireless-bb", Profile: u}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateBatch(reqs, 0)
 	}
 }
 
@@ -76,6 +142,7 @@ func BenchmarkExactMEMT12(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	nw := instances.RandomEuclidean(rng, 12, 2, 2, 10)
 	R := nw.AllReceivers()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wireless.ExactMEMT(nw, R)
@@ -85,6 +152,7 @@ func BenchmarkExactMEMT12(b *testing.B) {
 func BenchmarkMSTBroadcast64(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wireless.MSTBroadcast(nw)
@@ -94,6 +162,7 @@ func BenchmarkMSTBroadcast64(b *testing.B) {
 func BenchmarkBIPBroadcast64(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wireless.BIPBroadcast(nw)
@@ -104,6 +173,7 @@ func BenchmarkLineOptimal32(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	nw := instances.RandomLine(rng, 32, 2, 10)
 	R := nw.AllReceivers()[:16]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wireless.LineOptimal(nw, R)
@@ -115,6 +185,7 @@ func BenchmarkTreeShapley64(b *testing.B) {
 	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
 	ut := universal.SPT(nw)
 	R := nw.AllReceivers()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ut.Shapley(R)
@@ -126,6 +197,7 @@ func BenchmarkExactShapley12(b *testing.B) {
 	nw := instances.RandomEuclidean(rng, 13, 2, 2, 10)
 	ut := universal.SPT(nw)
 	agents := nw.AllReceivers()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sh := sharing.NewShapley(agents, ut.CostFunc())
@@ -136,6 +208,7 @@ func BenchmarkExactShapley12(b *testing.B) {
 func BenchmarkLineGameBuild24(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	nw := instances.RandomLine(rng, 24, 2, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		euclid1.NewLineGame(nw)
@@ -147,6 +220,7 @@ func BenchmarkLineShapley16(b *testing.B) {
 	nw := instances.RandomLine(rng, 16, 2, 10)
 	g := euclid1.NewLineGame(nw)
 	R := nw.AllReceivers()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Shapley(R)
@@ -157,6 +231,7 @@ func BenchmarkMoats32(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	nw := instances.RandomEuclidean(rng, 32, 2, 2, 10)
 	R := nw.AllReceivers()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		jv.Moats(nw, R, nil)
@@ -168,6 +243,7 @@ func BenchmarkSpiderOracleKR(b *testing.B) {
 	nw := instances.RandomEuclidean(rng, 8, 2, 2, 10)
 	rd := memtred.New(nw)
 	in := rd.Instance(nw.AllReceivers())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := nwst.NewState(in)
@@ -180,6 +256,7 @@ func BenchmarkSpiderOracleBranch(b *testing.B) {
 	nw := instances.RandomEuclidean(rng, 8, 2, 2, 10)
 	rd := memtred.New(nw)
 	in := rd.Instance(nw.AllReceivers())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := nwst.NewState(in)
@@ -196,6 +273,7 @@ func BenchmarkNWSTMechanism(b *testing.B) {
 	for _, r := range nw.AllReceivers() {
 		u[rd.In[r]] = 1e6
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := nwstmech.New(in, nwst.KleinRaviOracle)
@@ -207,6 +285,7 @@ func BenchmarkWirelessBBMechanism(b *testing.B) {
 	rng := rand.New(rand.NewSource(13))
 	nw := instances.RandomEuclidean(rng, 10, 2, 2, 10)
 	u := mech.UniformProfile(nw.N(), 1e6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := wmech.New(nw, nwst.KleinRaviOracle)
@@ -217,6 +296,7 @@ func BenchmarkWirelessBBMechanism(b *testing.B) {
 func BenchmarkDreyfusWagner(b *testing.B) {
 	p := instances.Pentagon(6, 2)
 	terms := append([]int{p.Source}, p.Externals...)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		steiner.DreyfusWagner(p.Chain, terms)
@@ -228,6 +308,7 @@ func BenchmarkKMB64(b *testing.B) {
 	nw := instances.RandomEuclidean(rng, 64, 2, 2, 10)
 	g := nw.CompleteGraph()
 	terms := []int{0, 5, 17, 33, 60}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		steiner.KMB(g, terms)
@@ -237,6 +318,7 @@ func BenchmarkKMB64(b *testing.B) {
 func BenchmarkMSTPrimMatrix128(b *testing.B) {
 	rng := rand.New(rand.NewSource(15))
 	nw := instances.RandomEuclidean(rng, 128, 2, 2, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mst.PrimMatrix(nw.CostMatrix(), 0)

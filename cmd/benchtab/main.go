@@ -9,24 +9,57 @@
 //	benchtab -only E9        # a single experiment
 //	benchtab -parallel 1     # force a serial run (byte-identical output)
 //	benchtab -json           # one JSON table per line
+//	benchtab -only E6 -cpuprofile e6.pprof   # profile the hot path
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"wmcs/internal/experiments"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "reduced trial counts")
-		only     = flag.String("only", "", "run a single experiment by id (E1..E13, A1, A4)")
-		parallel = flag.Int("parallel", 0, "evaluation-engine workers: 1 = serial, 0 = GOMAXPROCS")
-		jsonOut  = flag.Bool("json", false, "emit tables as JSON (one object per line)")
+		quick      = flag.Bool("quick", false, "reduced trial counts")
+		only       = flag.String("only", "", "run a single experiment by id (E1..E13, A1, A4)")
+		parallel   = flag.Int("parallel", 0, "evaluation-engine workers: 1 = serial, 0 = GOMAXPROCS")
+		jsonOut    = flag.Bool("json", false, "emit tables as JSON (one object per line)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is clean
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 	cfg := experiments.Config{Quick: *quick, Workers: *parallel}
 	if *only != "" {
 		e := experiments.Lookup(*only)

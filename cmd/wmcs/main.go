@@ -5,10 +5,15 @@
 // machine-readable JSON (-json), and parallelize the evaluation engine
 // (-parallel).
 //
+// Every mechanism run goes through the wmcs.Evaluator query engine, so a
+// -batch run amortizes the per-network substrates (NWST reduction,
+// universal tree, contraction states) across all requested profiles.
+//
 // Usage:
 //
 //	wmcs -mech wireless-bb -model euclid -n 10 -d 2 -alpha 2 -seed 1 -umax 50
 //	wmcs -mech jv-moat -model clustered -n 12        # any registry scenario
+//	wmcs -mech wireless-bb -batch 32 -parallel 8     # batched profile sweep
 //	wmcs -suite -quick -parallel 4                   # the E1–E13/A1–A4 tables
 //	wmcs -suite -json > tables.jsonl                 # one JSON table per line
 //	wmcs -list
@@ -36,6 +41,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 2, "distance-power gradient α")
 		seed     = flag.Int64("seed", 1, "random seed")
 		umax     = flag.Float64("umax", 50, "utilities are drawn uniformly from [0, umax)")
+		batch    = flag.Int("batch", 1, "profiles to evaluate as one EvaluateBatch query")
 		list     = flag.Bool("list", false, "list mechanisms and scenarios, then exit")
 		suite    = flag.Bool("suite", false, "run the full experiment suite instead of a single mechanism")
 		quick    = flag.Bool("quick", false, "with -suite: reduced trial counts")
@@ -79,17 +85,54 @@ func main() {
 		}
 		nw = sc.Gen(rng, *n, *alpha)
 	}
-	m, err := wmcs.ByName(*mechName, nw)
+	ev := wmcs.NewEvaluator(nw)
+	m, err := ev.Mechanism(*mechName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	u := make(wmcs.Profile, nw.N())
-	for i := range u {
-		if i != nw.Source() {
-			u[i] = rng.Float64() * *umax
+	drawProfile := func() wmcs.Profile {
+		u := make(wmcs.Profile, nw.N())
+		for i := range u {
+			if i != nw.Source() {
+				u[i] = rng.Float64() * *umax
+			}
 		}
+		return u
 	}
+	if *batch > 1 {
+		// Batched mode: draw the profiles serially (so the requests are
+		// the same at every -parallel), fan out over the evaluator, and
+		// print one summary row per request.
+		reqs := make([]wmcs.Request, *batch)
+		for i := range reqs {
+			reqs[i] = wmcs.Request{Mech: *mechName, Profile: drawProfile()}
+		}
+		resps := ev.EvaluateBatch(reqs, *parallel)
+		tab := stats.NewTable(
+			fmt.Sprintf("%s on %s n=%d (seed %d, batch %d)", m.Name(), *model, *n, *seed, *batch),
+			"query", "receivers", "cost C(R)", "Σ shares", "net worth")
+		for i, r := range resps {
+			if r.Err != nil {
+				fmt.Fprintln(os.Stderr, r.Err)
+				os.Exit(2)
+			}
+			tab.Add(fmt.Sprint(i), fmt.Sprintf("%d/%d", len(r.Outcome.Receivers), len(m.Agents())),
+				stats.F(r.Outcome.Cost), stats.F(r.Outcome.TotalShares()),
+				stats.F(r.Outcome.NetWorth(reqs[i].Profile)))
+		}
+		tab.Note("one network, %d profile queries; substrates built once by the evaluator", *batch)
+		if *jsonOut {
+			if err := tab.RenderJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		tab.Render(os.Stdout)
+		return
+	}
+	u := drawProfile()
 	o := m.Run(u)
 
 	tab := stats.NewTable(

@@ -11,6 +11,7 @@ import (
 	"wmcs/internal/jv"
 	"wmcs/internal/mech"
 	"wmcs/internal/nwst"
+	"wmcs/internal/query"
 	"wmcs/internal/sharing"
 	"wmcs/internal/stats"
 	"wmcs/internal/universal"
@@ -46,7 +47,11 @@ func E06WirelessBB(cfg Config) *stats.Table {
 			nw = instances.RandomSymmetric(rng, n, 0.5, 10)
 		}
 		var r res
-		m := wmech.New(nw, nwst.KleinRaviOracle)
+		// One query evaluator per trial network: the rich probe, the
+		// random-profile probe and every SP deviation below share the
+		// reduction and contraction-state pool.
+		ev := query.NewEvaluator(nw, query.WithOracle(nwst.KleinRaviOracle))
+		m, _ := ev.Mechanism("wireless-bb")
 		rich := mech.UniformProfile(n, 1e8)
 		o := m.Run(rich)
 		if len(o.Receivers) > 0 {

@@ -5,13 +5,11 @@ import (
 	"math/rand"
 
 	"wmcs/internal/instances"
-	"wmcs/internal/jv"
 	"wmcs/internal/mech"
 	"wmcs/internal/nwst"
+	"wmcs/internal/query"
 	"wmcs/internal/stats"
-	"wmcs/internal/universal"
 	"wmcs/internal/wireless"
-	"wmcs/internal/wmech"
 )
 
 // E13ScenarioSweep crosses the general-network mechanisms with every
@@ -31,21 +29,10 @@ func E13ScenarioSweep(cfg Config) *stats.Table {
 	trials := cfg.trials(6, 2)
 	const n = 10
 	scens := instances.Scenarios()
-	mechs := []struct {
-		name  string
-		build func(nw *wireless.Network) mech.Mechanism
-	}{
-		{"universal-shapley", func(nw *wireless.Network) mech.Mechanism {
-			return universal.ShapleyMechanism(universal.SPT(nw))
-		}},
-		{"wireless-bb", func(nw *wireless.Network) mech.Mechanism {
-			return wmech.New(nw, nwst.KleinRaviOracle)
-		}},
-		{"jv-moat", func(nw *wireless.Network) mech.Mechanism {
-			return jv.NewMechanism(nw, nil)
-		}},
-	}
-	nRows := len(scens) * len(mechs)
+	// Mechanisms come from the query-engine registry; each cell builds one
+	// evaluator for its network and asks it by name.
+	mechNames := []string{"universal-shapley", "wireless-bb", "jv-moat"}
+	nRows := len(scens) * len(mechNames)
 	type res struct {
 		served, agents int
 		ratio          float64
@@ -54,10 +41,14 @@ func E13ScenarioSweep(cfg Config) *stats.Table {
 	}
 	out := cells(cfg, 114, nRows*trials, func(task int, rng *rand.Rand) res {
 		row := task / trials
-		sc := scens[row/len(mechs)]
-		mc := mechs[row%len(mechs)]
+		sc := scens[row/len(mechNames)]
+		name := mechNames[row%len(mechNames)]
 		nw := sc.Gen(rng, n, 2)
-		m := mc.build(nw)
+		ev := query.NewEvaluator(nw, query.WithOracle(nwst.KleinRaviOracle))
+		m, err := ev.Mechanism(name)
+		if err != nil {
+			panic(err) // registry names are valid for every scenario network
+		}
 		u := mech.RandomProfile(rng, n, 60)
 		o := m.Run(u)
 		var r res
@@ -75,8 +66,8 @@ func E13ScenarioSweep(cfg Config) *stats.Table {
 		return r
 	})
 	for row := 0; row < nRows; row++ {
-		sc := scens[row/len(mechs)]
-		mc := mechs[row%len(mechs)]
+		sc := scens[row/len(mechNames)]
+		name := mechNames[row%len(mechNames)]
 		served, agents, axiom := 0, 0, 0
 		var ratios []float64
 		for trial := 0; trial < trials; trial++ {
@@ -89,7 +80,7 @@ func E13ScenarioSweep(cfg Config) *stats.Table {
 			}
 		}
 		s := stats.Summarize(ratios)
-		t.Add(sc.Name, mc.name, fmt.Sprint(trials),
+		t.Add(sc.Name, name, fmt.Sprint(trials),
 			fmt.Sprintf("%d/%d", served, agents),
 			stats.F(s.Mean), stats.F(s.Max), fmt.Sprint(axiom))
 	}

@@ -48,9 +48,17 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 	g.m++
 }
 
-// AddVertex appends a fresh isolated vertex and returns its id.
+// AddVertex appends a fresh isolated vertex and returns its id. After a
+// Rewind the slot's adjacency capacity is reused, so grow-rewind-grow
+// cycles (the contraction states of repeated queries) stop allocating
+// once the high-water mark is reached.
 func (g *Graph) AddVertex() int {
-	g.adj = append(g.adj, nil)
+	if cap(g.adj) > len(g.adj) {
+		g.adj = g.adj[:len(g.adj)+1]
+		g.adj[len(g.adj)-1] = g.adj[len(g.adj)-1][:0]
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	return len(g.adj) - 1
 }
 
@@ -91,6 +99,45 @@ func (g *Graph) Clone() *Graph {
 		c.adj[i] = append([]Edge(nil), l...)
 	}
 	return c
+}
+
+// Snapshot records the current size of the graph so later growth
+// (AddVertex/AddEdge) can be undone with Rewind. It captures per-vertex
+// adjacency lengths, so edges added between pre-existing vertices are
+// rewound too.
+type Snapshot struct {
+	n, m int
+	deg  []int
+}
+
+// Snapshot captures the current graph extent. The returned value stays
+// valid for any number of Rewind calls.
+func (g *Graph) Snapshot() Snapshot {
+	s := Snapshot{n: len(g.adj), m: g.m, deg: make([]int, len(g.adj))}
+	for i, l := range g.adj {
+		s.deg[i] = len(l)
+	}
+	return s
+}
+
+// Rewind truncates the graph back to the state captured by s: vertices
+// added since are removed and every adjacency list is cut to its recorded
+// length. It panics if the graph shrank below the snapshot in the
+// meantime.
+func (g *Graph) Rewind(s Snapshot) {
+	if len(g.adj) < s.n {
+		panic("graph: Rewind past a shrunken graph")
+	}
+	for i := s.n; i < len(g.adj); i++ {
+		// Keep the backing arrays: Edge holds no pointers and AddVertex
+		// reuses the capacity on the next growth cycle.
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.adj = g.adj[:s.n]
+	for i := 0; i < s.n; i++ {
+		g.adj[i] = g.adj[i][:s.deg[i]]
+	}
+	g.m = s.m
 }
 
 // TotalWeight returns the sum of all edge weights.

@@ -1,7 +1,14 @@
 package graph
 
-// IndexHeap is an indexed binary min-heap over keys 0..n−1 with float64
-// priorities, supporting DecreaseKey. It backs Dijkstra and Prim.
+// IndexHeap is an indexed d-ary (d = 4) min-heap over keys 0..n−1 with
+// float64 priorities, supporting DecreaseKey. It backs Dijkstra and
+// Prim. The wider node halves the sift depth, which measurably speeds
+// the decrease-key-heavy Dijkstra loops of the NWST oracles.
+//
+// The comparison order (priority, then key) is total, so the pop
+// sequence — and with it every byte of downstream output — is identical
+// to the binary heap's: the minimum is unique regardless of the
+// internal arity.
 //
 // The zero value is not usable; construct with NewIndexHeap.
 type IndexHeap struct {
@@ -21,6 +28,37 @@ func NewIndexHeap(n int) *IndexHeap {
 	}
 	return h
 }
+
+// Reset empties the heap without releasing its buffers, so a workspace can
+// reuse one heap across many Dijkstra/Prim runs with zero allocations.
+// Only the keys still present are touched, making Reset O(Len), not O(n).
+func (h *IndexHeap) Reset() {
+	for _, k := range h.heap {
+		h.pos[k] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+// Grow extends the key space to 0..n−1 in one reallocation, keeping
+// current contents. It is a no-op when the heap already holds n keys or
+// more.
+func (h *IndexHeap) Grow(n int) {
+	if len(h.pos) >= n {
+		return
+	}
+	pos := make([]int, n)
+	prio := make([]float64, n)
+	copy(pos, h.pos)
+	copy(prio, h.prio)
+	for i := len(h.pos); i < n; i++ {
+		pos[i] = -1
+	}
+	h.pos = pos
+	h.prio = prio
+}
+
+// Cap returns the size of the key space (the n of NewIndexHeap/Grow).
+func (h *IndexHeap) Cap() int { return len(h.pos) }
 
 // Len returns the number of keys currently in the heap.
 func (h *IndexHeap) Len() int { return len(h.heap) }
@@ -94,9 +132,13 @@ func (h *IndexHeap) swap(i, j int) {
 	h.pos[h.heap[j]] = j
 }
 
+// arity is the heap width; 4 is the usual sweet spot for Dijkstra
+// workloads (shallower sifts, still cache-friendly child scans).
+const arity = 4
+
 func (h *IndexHeap) up(i int) {
 	for i > 0 {
-		p := (i - 1) / 2
+		p := (i - 1) / arity
 		if !h.less(i, p) {
 			break
 		}
@@ -108,15 +150,21 @@ func (h *IndexHeap) up(i int) {
 func (h *IndexHeap) down(i int) {
 	n := len(h.heap)
 	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && h.less(l, m) {
-			m = l
+		first := arity*i + 1
+		if first >= n {
+			return
 		}
-		if r < n && h.less(r, m) {
-			m = r
+		m := first
+		last := first + arity
+		if last > n {
+			last = n
 		}
-		if m == i {
+		for c := first + 1; c < last; c++ {
+			if h.less(c, m) {
+				m = c
+			}
+		}
+		if !h.less(m, i) {
 			return
 		}
 		h.swap(i, m)

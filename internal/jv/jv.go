@@ -111,6 +111,9 @@ func Moats(nw *wireless.Network, R []int, w Weights) MoatResult {
 				groups[comp.Find(i)] = append(groups[comp.Find(i)], i)
 			}
 		}
+		// Map iteration order is safe here: each group touches a disjoint
+		// agent set exactly once and contributes the same `best` to dual,
+		// so no float result depends on the order.
 		for _, members := range groups {
 			var wsum float64
 			for _, i := range members {

@@ -93,6 +93,9 @@ type Mechanism interface {
 const Eps = 1e-7
 
 // CheckNPT verifies no positive transfers: every share is nonnegative.
+// (It iterates the Shares map directly: the pass/fail verdict is
+// order-independent; only which violation is named first can vary, and
+// no deterministic output depends on the message.)
 func CheckNPT(o Outcome) error {
 	for i, c := range o.Shares {
 		if c < -Eps {
@@ -103,7 +106,8 @@ func CheckNPT(o Outcome) error {
 }
 
 // CheckVP verifies voluntary participation: receivers never pay more than
-// their reported utility, and non-receivers pay nothing.
+// their reported utility, and non-receivers pay nothing. Like CheckNPT,
+// its verdict is independent of the Shares map iteration order.
 func CheckVP(u Profile, o Outcome) error {
 	for i, c := range o.Shares {
 		if !o.IsReceiver(i) && c > Eps {

@@ -201,7 +201,12 @@ func (rd *Reduction) Extract(nodes []int, R []int) Extraction {
 // the receivers strictly downstream of each station (following arcs
 // transitively). Arcs follow increasing BFS numbers, so the walk
 // terminates.
-func (ex *Extraction) DownstreamReceivers(n int, R []int) map[int][]int {
+//
+// The result is indexed by station and each entry is sorted ascending
+// (nil for stations with no outgoing arcs), so iterating it is
+// deterministic by construction — no map-order discipline required of
+// the caller.
+func (ex *Extraction) DownstreamReceivers(n int, R []int) [][]int {
 	isR := make([]bool, n)
 	for _, r := range R {
 		isR[r] = true
@@ -210,16 +215,17 @@ func (ex *Extraction) DownstreamReceivers(n int, R []int) map[int][]int {
 	for _, a := range ex.Arcs {
 		adj[a.From] = append(adj[a.From], a.To)
 	}
-	out := make(map[int][]int, n)
-	var collect func(v int, seen []bool, acc *[]int)
-	collect = func(v int, seen []bool, acc *[]int) {
+	out := make([][]int, n)
+	seen := make([]bool, n)
+	var collect func(v int, acc *[]int)
+	collect = func(v int, acc *[]int) {
 		for _, w := range adj[v] {
 			if !seen[w] {
 				seen[w] = true
 				if isR[w] {
 					*acc = append(*acc, w)
 				}
-				collect(w, seen, acc)
+				collect(w, acc)
 			}
 		}
 	}
@@ -227,9 +233,11 @@ func (ex *Extraction) DownstreamReceivers(n int, R []int) map[int][]int {
 		if len(adj[v]) == 0 {
 			continue
 		}
-		seen := make([]bool, n)
+		for i := range seen {
+			seen[i] = false
+		}
 		var acc []int
-		collect(v, seen, &acc)
+		collect(v, &acc)
 		sort.Ints(acc)
 		out[v] = acc
 	}

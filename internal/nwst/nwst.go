@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"wmcs/internal/graph"
 )
@@ -67,14 +68,55 @@ type Oracle func(s *State, minCover int) (Spider, bool)
 // a fresh zero-weight terminal adjacent to all their live neighbors; the
 // new terminal remembers the original terminals it contains
 // (the paper's N+_t).
+//
+// A State owns a private copy of the host graph plus the scratch buffers
+// of the spider oracles, so it can be Reset and reused across queries on
+// the same host instance without reallocating (see StatePool). A State is
+// not safe for concurrent use.
 type State struct {
 	n0     int // number of original vertices
 	g      *graph.Graph
+	base   graph.Snapshot // host extent; Reset rewinds contractions to it
 	w      []float64
 	alive  []bool
 	isTerm []bool
 	free   []bool
 	cons   [][]int // constituents: original terminal ids inside vertex
+	// consBase backs the singleton constituent slices of original paying
+	// terminals: cons[t] == consBase[t : t+1], so Reset re-points slices
+	// instead of reallocating them.
+	consBase []int
+	sc       scratch
+}
+
+// scratch holds the reusable buffers of NodeDist and the spider oracles.
+// Everything here is sized lazily to the current (contracted) graph and
+// carries no information across calls.
+type scratch struct {
+	heap *graph.IndexHeap
+	done []bool
+	// single-source node-distance buffers (Klein–Ravi, PathBetween).
+	dist1 []float64
+	par1  []int
+	// all-pairs buffers (BranchSpiderOracle), one row per live center.
+	dists   [][]float64
+	parents [][]int
+	// spider assembly.
+	inUnion  []bool
+	nodesBuf []int
+	termsBuf []int
+	pathBuf  []int
+	sortBuf  []int
+	// branch-oracle greedy.
+	items   []legItem
+	legEnds []int
+	hubLegs []legItem
+	covered []bool
+	sorter  termDistSorter
+	// Shrink.
+	inSpider []bool
+	seen     []bool
+	touched  []int
 }
 
 // NewState initializes the contraction state from an instance.
@@ -82,26 +124,106 @@ func NewState(in Instance) *State {
 	in.Validate()
 	n := in.G.N()
 	s := &State{
-		n0:     n,
-		g:      in.G.Clone(),
-		w:      append([]float64(nil), in.Weights...),
-		alive:  make([]bool, n),
-		isTerm: make([]bool, n),
-		free:   make([]bool, n),
-		cons:   make([][]int, n),
+		n0:       n,
+		g:        in.G.Clone(),
+		w:        append([]float64(nil), in.Weights...),
+		alive:    make([]bool, n),
+		isTerm:   make([]bool, n),
+		free:     make([]bool, n),
+		cons:     make([][]int, n),
+		consBase: make([]int, n),
 	}
+	s.base = s.g.Snapshot()
+	for i := range s.consBase {
+		s.consBase[i] = i
+	}
+	s.sc.heap = graph.NewIndexHeap(n)
 	for i := range s.alive {
 		s.alive[i] = true
 	}
-	for ti, t := range in.Terminals {
+	s.setTerminals(in.Terminals, in.Free)
+	return s
+}
+
+// setTerminals marks the terminal set on a state whose alive/isTerm/free/
+// cons arrays are already cleared to the "no terminals" baseline.
+func (s *State) setTerminals(terminals []int, free []bool) {
+	for ti, t := range terminals {
 		s.isTerm[t] = true
-		if in.Free != nil && in.Free[ti] {
+		if free != nil && free[ti] {
 			s.free[t] = true
 		} else {
-			s.cons[t] = []int{t}
+			s.cons[t] = s.consBase[t : t+1]
 		}
 	}
-	return s
+}
+
+// Reset rewinds every contraction and DropTerminal and installs a new
+// terminal set, reusing all buffers: after Reset the state behaves
+// exactly like NewState of the same host instance with the new
+// terminals. free follows the Instance convention (aligned with
+// terminals; nil means all paying).
+func (s *State) Reset(terminals []int, free []bool) {
+	s.g.Rewind(s.base)
+	n := s.n0
+	s.w = s.w[:n]
+	s.alive = s.alive[:n]
+	s.isTerm = s.isTerm[:n]
+	s.free = s.free[:n]
+	for i := n; i < len(s.cons); i++ {
+		s.cons[i] = nil // release super-terminal constituent slices
+	}
+	s.cons = s.cons[:n]
+	for i := 0; i < n; i++ {
+		s.alive[i] = true
+		s.isTerm[i] = false
+		s.free[i] = false
+		s.cons[i] = nil
+	}
+	s.setTerminals(terminals, free)
+}
+
+// StatePool is a mutex-guarded free list of States over one host
+// instance (graph + weights). Get hands out a Reset state for the given
+// terminal set, building a new one only when the pool is empty, so
+// concurrent queries share the amortized graph copies. Because Reset
+// restores a state bit-for-bit to its freshly-constructed behavior,
+// results never depend on which pooled state served a query.
+type StatePool struct {
+	mu   sync.Mutex
+	free []*State
+	g    *graph.Graph
+	w    []float64
+}
+
+// NewStatePool returns an empty pool over the host graph and weights.
+func NewStatePool(g *graph.Graph, weights []float64) *StatePool {
+	return &StatePool{g: g, w: weights}
+}
+
+// Get returns a state for the given terminals, reusing a pooled one when
+// available. Callers return it with Put when done.
+func (p *StatePool) Get(terminals []int, free []bool) *State {
+	p.mu.Lock()
+	var st *State
+	if k := len(p.free); k > 0 {
+		st = p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+	}
+	p.mu.Unlock()
+	if st == nil {
+		return NewState(Instance{G: p.g, Weights: p.w, Terminals: terminals, Free: free})
+	}
+	st.Reset(terminals, free)
+	return st
+}
+
+// Put returns a state to the pool for reuse.
+func (p *StatePool) Put(st *State) {
+	p.mu.Lock()
+	p.free = append(p.free, st)
+	p.mu.Unlock()
 }
 
 // N0 returns the number of original vertices.
@@ -157,21 +279,39 @@ func (s *State) DropTerminal(v int) {
 // NodeDist computes node-weighted shortest-path distances from src over
 // live vertices: dist[v] = min over paths of Σ weights of path nodes
 // excluding src itself. parent gives the predecessor on an optimal path.
+// The returned slices are freshly allocated; the oracles use the
+// scratch-backed nodeDistInto instead.
 func (s *State) NodeDist(src int) (dist []float64, parent []int) {
 	n := s.g.N()
 	dist = make([]float64, n)
 	parent = make([]int, n)
-	for i := range dist {
+	s.nodeDistInto(src, dist, parent)
+	return dist, parent
+}
+
+// nodeDistInto is NodeDist writing into caller-provided slices of length
+// g.N(), reusing the state's heap and visited mask.
+func (s *State) nodeDistInto(src int, dist []float64, parent []int) {
+	n := s.g.N()
+	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
 		parent[i] = -1
 	}
 	if !s.alive[src] {
-		return dist, parent
+		return
 	}
-	h := graph.NewIndexHeap(n)
+	h := s.sc.heap
+	h.Grow(n)
+	h.Reset()
+	if cap(s.sc.done) < n {
+		s.sc.done = make([]bool, n)
+	}
+	done := s.sc.done[:n]
+	for i := 0; i < n; i++ {
+		done[i] = false
+	}
 	dist[src] = 0
 	h.Push(src, 0)
-	done := make([]bool, n)
 	for h.Len() > 0 {
 		u, du := h.Pop()
 		if done[u] {
@@ -190,7 +330,6 @@ func (s *State) NodeDist(src int) (dist []float64, parent []int) {
 			}
 		}
 	}
-	return dist, parent
 }
 
 // pathNodes walks parent pointers from v back to the source of a NodeDist
@@ -209,28 +348,87 @@ func pathNodes(parent []int, v int) []int {
 // PathBetween returns the minimum node-weight path between live vertices
 // a and b (inclusive of both) and its total node weight.
 func (s *State) PathBetween(a, b int) ([]int, float64) {
-	dist, parent := s.NodeDist(a)
+	dist, parent := s.sc.distBufs(s.g.N())
+	s.nodeDistInto(a, dist, parent)
 	if math.IsInf(dist[b], 1) {
 		return nil, math.Inf(1)
 	}
 	return pathNodes(parent, b), dist[b] + s.w[a]
 }
 
+// distBufs returns the single-source distance scratch sized to n.
+func (sc *scratch) distBufs(n int) ([]float64, []int) {
+	if cap(sc.dist1) < n {
+		sc.dist1 = make([]float64, n)
+		sc.par1 = make([]int, n)
+	}
+	return sc.dist1[:n], sc.par1[:n]
+}
+
+// spiderBufs returns the spider-assembly scratch (membership mask plus
+// node/terminal accumulators) sized to n, cleared.
+func (sc *scratch) spiderBufs(n int) []bool {
+	if cap(sc.inUnion) < n {
+		sc.inUnion = make([]bool, n)
+	}
+	sc.inUnion = sc.inUnion[:n]
+	sc.nodesBuf = sc.nodesBuf[:0]
+	sc.termsBuf = sc.termsBuf[:0]
+	return sc.inUnion
+}
+
+// Clone returns a Spider owning independent Nodes/Terms slices. The
+// oracles assemble candidate spiders in scratch buffers and clone only
+// the running best, so the per-candidate work is allocation-free.
+func (sp Spider) Clone() Spider {
+	sp.Nodes = append([]int(nil), sp.Nodes...)
+	sp.Terms = append([]int(nil), sp.Terms...)
+	return sp
+}
+
+// appendPath walks parent pointers from v back to the source of a
+// nodeDistInto call and appends the path source..v to buf.
+func appendPath(parent []int, v int, buf []int) []int {
+	start := len(buf)
+	for x := v; x != -1; x = parent[x] {
+		buf = append(buf, x)
+	}
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf
+}
+
 // buildSpider assembles an exact-cost Spider from a center and a set of
-// leg endpoints with their parent forest.
+// leg endpoints with their parent forest. The returned spider's
+// Nodes/Terms alias the state's scratch buffers and are valid only until
+// the next assembly; keep a candidate with Clone.
 func (s *State) buildSpider(center int, parent []int, legEnds []int) Spider {
-	inUnion := map[int]bool{center: true}
-	nodes := []int{center}
+	inUnion := s.sc.spiderBufs(s.g.N())
+	nodes := append(s.sc.nodesBuf, center)
+	inUnion[center] = true
 	for _, end := range legEnds {
-		for _, v := range pathNodes(parent, end) {
+		s.sc.pathBuf = appendPath(parent, end, s.sc.pathBuf[:0])
+		for _, v := range s.sc.pathBuf {
 			if !inUnion[v] {
 				inUnion[v] = true
 				nodes = append(nodes, v)
 			}
 		}
 	}
+	sp := s.finishSpider(center, nodes)
+	for _, v := range nodes {
+		inUnion[v] = false
+	}
+	return sp
+}
+
+// finishSpider computes cost/terms/ratio over the accumulated node union
+// (in insertion order, so float summation order matches the historical
+// fresh-allocation code) and sorts the scratch-backed slices.
+func (s *State) finishSpider(center int, nodes []int) Spider {
 	var cost float64
-	var terms []int
+	terms := s.sc.termsBuf[:0]
 	paying := 0
 	for _, v := range nodes {
 		cost += s.w[v]
@@ -243,6 +441,8 @@ func (s *State) buildSpider(center int, parent []int, legEnds []int) Spider {
 	}
 	sort.Ints(nodes)
 	sort.Ints(terms)
+	s.sc.nodesBuf = nodes
+	s.sc.termsBuf = terms
 	ratio := math.Inf(1)
 	if paying > 0 {
 		ratio = cost / float64(paying)
@@ -269,15 +469,18 @@ func KleinRaviOracle(s *State, minCover int) (Spider, bool) {
 		if !s.alive[v] {
 			continue
 		}
-		dist, parent := s.NodeDist(v)
-		// Paying terminals sorted by distance from v.
-		terms := append([]int(nil), paying...)
-		sort.Slice(terms, func(a, b int) bool {
-			if dist[terms[a]] != dist[terms[b]] {
-				return dist[terms[a]] < dist[terms[b]]
-			}
-			return terms[a] < terms[b]
-		})
+		dist, parent := s.sc.distBufs(n)
+		s.nodeDistInto(v, dist, parent)
+		// Paying terminals sorted by distance from v. The comparator is a
+		// total order (ties broken by id), so the sorted sequence — and
+		// with it every downstream byte — does not depend on the sort
+		// algorithm. sort.Sort on the pointer sorter avoids the per-call
+		// closure and reflect.Swapper allocations of sort.Slice, the
+		// dominant allocation site of the whole oracle.
+		terms := append(s.sc.sortBuf[:0], paying...)
+		s.sc.sortBuf = terms
+		s.sc.sorter = termDistSorter{terms: terms, dist: dist}
+		sort.Sort(&s.sc.sorter)
 		if math.IsInf(dist[terms[minCover-1]], 1) {
 			continue
 		}
@@ -287,12 +490,33 @@ func KleinRaviOracle(s *State, minCover int) (Spider, bool) {
 			}
 			sp := s.buildSpider(v, parent, terms[:j])
 			if sp.Paying >= minCover && sp.Ratio < best.Ratio-1e-15 {
-				best = sp
+				best = sp.Clone()
 				found = true
 			}
 		}
 	}
 	return best, found
+}
+
+// allPairs returns the all-pairs distance scratch: n rows of length n,
+// grown lazily and reused across oracle calls.
+func (sc *scratch) allPairs(n int) ([][]float64, [][]int) {
+	for len(sc.dists) < n {
+		sc.dists = append(sc.dists, nil)
+		sc.parents = append(sc.parents, nil)
+	}
+	ds, ps := sc.dists[:n], sc.parents[:n]
+	for i := 0; i < n; i++ {
+		if cap(ds[i]) < n {
+			ds[i] = make([]float64, n)
+			ps[i] = make([]int, n)
+			sc.dists[i] = ds[i]
+			sc.parents[i] = ps[i]
+		}
+		ds[i] = ds[i][:n]
+		ps[i] = ps[i][:n]
+	}
+	return ds, ps
 }
 
 // BranchSpiderOracle extends KleinRaviOracle with Guha–Khuller style
@@ -311,23 +535,26 @@ func BranchSpiderOracle(s *State, minCover int) (Spider, bool) {
 		minCover = len(paying)
 	}
 	// All-pairs node distances from every live vertex (hubs and centers).
-	dists := make([][]float64, n)
-	parents := make([][]int, n)
+	dists, parents := s.sc.allPairs(n)
 	for v := 0; v < n; v++ {
 		if s.alive[v] {
-			dists[v], parents[v] = s.NodeDist(v)
+			s.nodeDistInto(v, dists[v], parents[v])
 		}
 	}
 	best := base
 	found := okBase
+	if cap(s.sc.covered) < n {
+		s.sc.covered = make([]bool, n)
+	}
+	covered := s.sc.covered[:n]
 	for v := 0; v < n; v++ {
 		if !s.alive[v] {
 			continue
 		}
-		var items []legItem
+		items := s.sc.items[:0]
 		for _, t := range paying {
 			if !math.IsInf(dists[v][t], 1) {
-				items = append(items, legItem{cost: dists[v][t], ends: []int{t}, hub: -1, terms: []int{t}})
+				items = append(items, legItem{cost: dists[v][t], hub: -1, t1: t, t2: -1})
 			}
 		}
 		for u := 0; u < n; u++ {
@@ -350,24 +577,29 @@ func BranchSpiderOracle(s *State, minCover int) (Spider, bool) {
 				continue
 			}
 			items = append(items, legItem{
-				cost:  dists[v][u] + dists[u][t1] + dists[u][t2],
-				ends:  []int{t1, t2},
-				hub:   u,
-				terms: []int{t1, t2},
+				cost: dists[v][u] + dists[u][t1] + dists[u][t2],
+				hub:  u,
+				t1:   t1,
+				t2:   t2,
 			})
 		}
+		s.sc.items = items
 		// Greedy by cost per newly covered terminal.
-		covered := map[int]bool{}
-		var legEnds []int
-		var hubLegs []legItem
-		for len(covered) < len(paying) {
+		for _, t := range paying {
+			covered[t] = false
+		}
+		nCovered := 0
+		legEnds := s.sc.legEnds[:0]
+		hubLegs := s.sc.hubLegs[:0]
+		for nCovered < len(paying) {
 			bi, bc := -1, math.Inf(1)
 			for i, it := range items {
 				nu := 0
-				for _, t := range it.terms {
-					if !covered[t] {
-						nu++
-					}
+				if !covered[it.t1] {
+					nu++
+				}
+				if it.t2 >= 0 && !covered[it.t2] {
+					nu++
 				}
 				if nu == 0 {
 					continue
@@ -380,42 +612,70 @@ func BranchSpiderOracle(s *State, minCover int) (Spider, bool) {
 				break
 			}
 			it := items[bi]
-			for _, t := range it.terms {
-				covered[t] = true
+			if !covered[it.t1] {
+				covered[it.t1] = true
+				nCovered++
+			}
+			if it.t2 >= 0 && !covered[it.t2] {
+				covered[it.t2] = true
+				nCovered++
 			}
 			if it.hub < 0 {
-				legEnds = append(legEnds, it.ends...)
+				legEnds = append(legEnds, it.t1)
 			} else {
 				hubLegs = append(hubLegs, it)
 			}
-			if len(covered) >= minCover {
+			if nCovered >= minCover {
 				sp := s.assembleBranchSpider(v, parents, legEnds, hubLegs)
 				if sp.Paying >= minCover && sp.Ratio < best.Ratio-1e-15 {
-					best = sp
+					best = sp.Clone()
 					found = true
 				}
 			}
 		}
+		s.sc.legEnds = legEnds
+		s.sc.hubLegs = hubLegs
 	}
 	return best, found
 }
 
-// legItem is a candidate spider leg: either a direct path to one terminal
-// (hub < 0) or a path to a hub that forks to two terminals.
-type legItem struct {
-	cost  float64
-	ends  []int // leg endpoints (terminals), walked in the relevant forest
-	hub   int   // −1 for single legs
+// termDistSorter sorts terminal ids by (distance, id) — a total order,
+// so the result is algorithm-independent.
+type termDistSorter struct {
 	terms []int
+	dist  []float64
+}
+
+func (t *termDistSorter) Len() int { return len(t.terms) }
+func (t *termDistSorter) Less(a, b int) bool {
+	if t.dist[t.terms[a]] != t.dist[t.terms[b]] {
+		return t.dist[t.terms[a]] < t.dist[t.terms[b]]
+	}
+	return t.terms[a] < t.terms[b]
+}
+func (t *termDistSorter) Swap(a, b int) {
+	t.terms[a], t.terms[b] = t.terms[b], t.terms[a]
+}
+
+// legItem is a candidate spider leg: either a direct path to one terminal
+// (hub < 0, t2 < 0) or a path to a hub that forks to the two terminals
+// t1, t2.
+type legItem struct {
+	cost   float64
+	hub    int // −1 for single legs
+	t1, t2 int // covered terminals; t2 == −1 for single legs
 }
 
 // assembleBranchSpider unions the center's single legs with hub-forked
-// legs and computes exact cost, terminals and ratio.
+// legs and computes exact cost, terminals and ratio. Like buildSpider,
+// the result aliases scratch; Clone to keep it.
 func (s *State) assembleBranchSpider(center int, parents [][]int, singleEnds []int, hubLegs []legItem) Spider {
-	inUnion := map[int]bool{center: true}
-	nodes := []int{center}
+	inUnion := s.sc.spiderBufs(s.g.N())
+	nodes := append(s.sc.nodesBuf, center)
+	inUnion[center] = true
 	add := func(parent []int, end int) {
-		for _, v := range pathNodes(parent, end) {
+		s.sc.pathBuf = appendPath(parent, end, s.sc.pathBuf[:0])
+		for _, v := range s.sc.pathBuf {
 			if !inUnion[v] {
 				inUnion[v] = true
 				nodes = append(nodes, v)
@@ -427,29 +687,14 @@ func (s *State) assembleBranchSpider(center int, parents [][]int, singleEnds []i
 	}
 	for _, hl := range hubLegs {
 		add(parents[center], hl.hub)
-		for _, e := range hl.ends {
-			add(parents[hl.hub], e)
-		}
+		add(parents[hl.hub], hl.t1)
+		add(parents[hl.hub], hl.t2)
 	}
-	var cost float64
-	var terms []int
-	paying := 0
-	for _, v := range nodes {
-		cost += s.w[v]
-		if s.isTerm[v] {
-			terms = append(terms, v)
-			if !s.free[v] {
-				paying++
-			}
-		}
+	sp := s.finishSpider(center, nodes)
+	for _, v := range sp.Nodes {
+		inUnion[v] = false
 	}
-	sort.Ints(nodes)
-	sort.Ints(terms)
-	ratio := math.Inf(1)
-	if paying > 0 {
-		ratio = cost / float64(paying)
-	}
-	return Spider{Center: center, Nodes: nodes, Terms: terms, Paying: paying, Cost: cost, Ratio: ratio}
+	return sp
 }
 
 // Shrink contracts the spider's nodes into a fresh zero-weight terminal
@@ -463,7 +708,12 @@ func (s *State) Shrink(sp Spider) int {
 	s.w = append(s.w, 0)
 	s.alive = append(s.alive, true)
 	s.isTerm = append(s.isTerm, true)
-	inSpider := map[int]bool{}
+	if cap(s.sc.inSpider) < nv+1 {
+		s.sc.inSpider = make([]bool, nv+1)
+		s.sc.seen = make([]bool, nv+1)
+	}
+	inSpider := s.sc.inSpider[:nv+1]
+	seen := s.sc.seen[:nv+1]
 	for _, v := range sp.Nodes {
 		inSpider[v] = true
 	}
@@ -479,17 +729,23 @@ func (s *State) Shrink(sp Spider) int {
 	s.cons = append(s.cons, cons)
 	s.free = append(s.free, freeAll)
 	// Wire the new vertex to live outside neighbors, then kill the spider.
-	seen := map[int]bool{}
+	touched := s.sc.touched[:0]
 	for _, v := range sp.Nodes {
 		for _, e := range s.g.Neighbors(v) {
 			u := e.To
 			if s.alive[u] && !inSpider[u] && !seen[u] {
 				seen[u] = true
+				touched = append(touched, u)
 				s.g.AddEdge(nv, u, 0)
 			}
 		}
 	}
+	s.sc.touched = touched
+	for _, u := range touched {
+		seen[u] = false
+	}
 	for _, v := range sp.Nodes {
+		inSpider[v] = false
 		s.alive[v] = false
 	}
 	return nv

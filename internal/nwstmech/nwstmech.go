@@ -38,6 +38,7 @@ type Mechanism struct {
 	inst   nwst.Instance
 	oracle nwst.Oracle
 	agents []int
+	pool   *nwst.StatePool
 }
 
 // eps absorbs floating-point noise in budget comparisons.
@@ -45,13 +46,27 @@ const eps = 1e-9
 
 // New builds the mechanism for an NWST instance. Paying terminals are the
 // agents; free terminals (the wireless source) are always connected and
-// never charged.
+// never charged. The mechanism owns a private state pool; use NewShared
+// to amortize contraction states across many mechanisms over the same
+// host graph.
 func New(inst nwst.Instance, oracle nwst.Oracle) *Mechanism {
+	return NewShared(inst, oracle, nil)
+}
+
+// NewShared is New with an external state pool, which must be over the
+// same host graph and weights as inst. Queries drawing states from a
+// shared pool produce byte-identical results to private-pool queries:
+// nwst.State.Reset restores a pooled state to as-constructed behavior.
+// A nil pool allocates a private one.
+func NewShared(inst nwst.Instance, oracle nwst.Oracle, pool *nwst.StatePool) *Mechanism {
 	inst.Validate()
 	if oracle == nil {
 		oracle = nwst.BranchSpiderOracle
 	}
-	m := &Mechanism{inst: inst, oracle: oracle}
+	if pool == nil {
+		pool = nwst.NewStatePool(inst.G, inst.Weights)
+	}
+	m := &Mechanism{inst: inst, oracle: oracle, pool: pool}
 	for ti, t := range inst.Terminals {
 		if inst.Free == nil || !inst.Free[ti] {
 			m.agents = append(m.agents, t)
@@ -125,7 +140,8 @@ func (m *Mechanism) attempt(u mech.Profile, active map[int]bool, freeTerms []int
 		terms = append(terms, a)
 		free = append(free, false)
 	}
-	st := nwst.NewState(nwst.Instance{G: m.inst.G, Weights: m.inst.Weights, Terminals: terms, Free: free})
+	st := m.pool.Get(terms, free)
+	defer m.pool.Put(st)
 
 	shares := map[int]float64{}
 	vt := map[int]float64{} // super-terminal utilities (Eq. 5)

@@ -1,0 +1,212 @@
+// Package query implements the build-once / query-many evaluation engine
+// over a fixed wireless network (DESIGN.md §7). The paper's mechanisms
+// answer many receiver-set queries against one network — who is served,
+// who pays — and every layer below this package is amortizable: the
+// MEMT→NWST reduction depends only on the network, mechanism construction
+// (universal trees, interval tables) depends only on the network, and the
+// NWST contraction states are resettable. An Evaluator performs each of
+// those constructions at most once and serves an arbitrary number of
+// Evaluate/EvaluateBatch queries against them.
+//
+// Determinism contract: a query's result is byte-identical no matter how
+// the evaluator has been used before (pooled states reset to
+// as-constructed behavior) and no matter the EvaluateBatch worker count
+// (results are collected order-stably by the engine pool). Mechanisms
+// cached here must be safe for concurrent Run, which every registry
+// mechanism is: they are read-only after construction, and the wireless
+// mechanism's contraction-state pool is mutex-guarded.
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"wmcs/internal/engine"
+	"wmcs/internal/euclid1"
+	"wmcs/internal/jv"
+	"wmcs/internal/mech"
+	"wmcs/internal/memtred"
+	"wmcs/internal/nwst"
+	"wmcs/internal/universal"
+	"wmcs/internal/wireless"
+	"wmcs/internal/wmech"
+)
+
+// Names lists the mechanism names an Evaluator accepts, in registry order.
+func Names() []string {
+	return []string{
+		"universal-shapley", "universal-mc", "wireless-bb",
+		"alpha1-shapley", "alpha1-mc", "line-shapley", "line-mc", "jv-moat",
+	}
+}
+
+// Evaluator is the reusable query engine for one network: it caches the
+// MEMT→NWST reduction and one mechanism instance per registry name, each
+// built on first use. Safe for concurrent use.
+type Evaluator struct {
+	net    *wireless.Network
+	oracle nwst.Oracle
+
+	mu    sync.Mutex
+	rd    *memtred.Reduction
+	spt   *universal.Tree
+	mechs map[string]mech.Mechanism
+}
+
+// Option tunes an Evaluator at construction.
+type Option func(*Evaluator)
+
+// WithOracle selects the spider oracle of the wireless-bb mechanism
+// (default nwst.BranchSpiderOracle, the paper's 1.5 ln k choice).
+func WithOracle(o nwst.Oracle) Option {
+	return func(e *Evaluator) { e.oracle = o }
+}
+
+// NewEvaluator builds the query engine for a network. Construction is
+// cheap: all per-network work (reduction, universal tree, interval
+// tables) happens lazily on the first query that needs it.
+func NewEvaluator(nw *wireless.Network, opts ...Option) *Evaluator {
+	e := &Evaluator{
+		net:    nw,
+		oracle: nwst.BranchSpiderOracle,
+		mechs:  make(map[string]mech.Mechanism),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Network returns the network the evaluator serves.
+func (e *Evaluator) Network() *wireless.Network { return e.net }
+
+// Reduction returns the network's MEMT→NWST reduction, built on first
+// call and shared by every wireless-bb query afterwards.
+func (e *Evaluator) Reduction() *memtred.Reduction {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reductionLocked()
+}
+
+func (e *Evaluator) reductionLocked() *memtred.Reduction {
+	if e.rd == nil {
+		e.rd = memtred.New(e.net)
+	}
+	return e.rd
+}
+
+func (e *Evaluator) sptLocked() *universal.Tree {
+	if e.spt == nil {
+		e.spt = universal.SPT(e.net)
+	}
+	return e.spt
+}
+
+// Mechanism returns the cached mechanism for a registry name, building
+// and validating it on first use. The returned mechanism is shared: all
+// registry mechanisms are safe for concurrent Run.
+func (e *Evaluator) Mechanism(name string) (mech.Mechanism, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.mechs[name]; ok {
+		return m, nil
+	}
+	m, err := e.build(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mechs[name] = m
+	return m, nil
+}
+
+// build constructs a mechanism by registry name; called with e.mu held so
+// the shared substrates (reduction, SPT) are cached consistently. Errors
+// carry the public "wmcs:" prefix because they surface unchanged through
+// the wmcs.Evaluator alias and wmcs.ByName.
+func (e *Evaluator) build(name string) (mech.Mechanism, error) {
+	nw := e.net
+	switch name {
+	case "universal-shapley":
+		return universal.ShapleyMechanism(e.sptLocked()), nil
+	case "universal-mc":
+		return universal.MCMechanism(e.sptLocked()), nil
+	case "wireless-bb":
+		return wmech.NewFromReduction(e.reductionLocked(), e.oracle), nil
+	case "alpha1-shapley", "alpha1-mc":
+		if !nw.IsEuclidean() || nw.PowerModel().Alpha != 1 {
+			return nil, fmt.Errorf("wmcs: %s requires a Euclidean network with alpha = 1", name)
+		}
+		g := euclid1.NewAirportGame(nw)
+		if name == "alpha1-shapley" {
+			return g.ShapleyMechanism(), nil
+		}
+		return g.MCMechanism(), nil
+	case "line-shapley", "line-mc":
+		if nw.Dim() != 1 {
+			return nil, fmt.Errorf("wmcs: %s requires a 1-dimensional network", name)
+		}
+		g := euclid1.NewLineGame(nw)
+		if name == "line-shapley" {
+			return g.ShapleyMechanism(), nil
+		}
+		return g.MCMechanism(), nil
+	case "jv-moat":
+		return jv.NewMechanism(nw, nil), nil
+	}
+	return nil, fmt.Errorf("wmcs: unknown mechanism %q (try one of %v)", name, Names())
+}
+
+// Evaluate runs one receiver-set query: mechanism name, candidate
+// receiver set R, reported profile u. R restricts the query — stations
+// outside R are treated as not requesting service (utility 0); a nil R
+// means every station may be served. The mechanism then decides, within
+// R, who is actually served and what each receiver pays.
+func (e *Evaluator) Evaluate(name string, R []int, u mech.Profile) (mech.Outcome, error) {
+	m, err := e.Mechanism(name)
+	if err != nil {
+		return mech.Outcome{}, err
+	}
+	if R != nil {
+		u = restrict(u, R)
+	}
+	return m.Run(u), nil
+}
+
+// restrict returns the profile that reports u inside R and 0 elsewhere.
+func restrict(u mech.Profile, R []int) mech.Profile {
+	v := make(mech.Profile, len(u))
+	for _, r := range R {
+		if r >= 0 && r < len(u) {
+			v[r] = u[r]
+		}
+	}
+	return v
+}
+
+// Request is one EvaluateBatch query.
+type Request struct {
+	Mech    string       // registry mechanism name
+	R       []int        // candidate receiver set; nil = all stations
+	Profile mech.Profile // reported utilities
+}
+
+// Response pairs a request's outcome with its per-request error (bad
+// mechanism name or network class); Outcome is meaningful iff Err is nil.
+type Response struct {
+	Outcome mech.Outcome
+	Err     error
+}
+
+// EvaluateBatch evaluates the requests on an engine pool of the given
+// width (1 = serial, ≤ 0 = GOMAXPROCS) and returns the responses in
+// request order. Results are byte-identical at every worker count:
+// requests are independent, the engine collects order-stably, and the
+// shared substrates behave identically no matter which worker touches
+// them first.
+func (e *Evaluator) EvaluateBatch(reqs []Request, workers int) []Response {
+	pool := engine.New(workers)
+	return engine.Map(pool, len(reqs), func(i int) Response {
+		o, err := e.Evaluate(reqs[i].Mech, reqs[i].R, reqs[i].Profile)
+		return Response{Outcome: o, Err: err}
+	})
+}

@@ -218,9 +218,17 @@ func CheckBudgetBalanced(xi Method, cost CostFunc, agents []int, rng *rand.Rand,
 		if len(R) == 0 {
 			continue
 		}
+		// Sum in sorted agent order: map iteration would perturb the float
+		// low bits and could flip the eps comparison between runs.
+		shares := xi.Shares(R)
+		ids := make([]int, 0, len(shares))
+		for i := range shares {
+			ids = append(ids, i)
+		}
+		sort.Ints(ids)
 		var tot float64
-		for _, c := range xi.Shares(R) {
-			tot += c
+		for _, i := range ids {
+			tot += shares[i]
 		}
 		if want := cost(R); tot < want-eps || tot > want+eps {
 			return fmt.Errorf("budget balance violated on R=%v: shares %g, cost %g", R, tot, want)

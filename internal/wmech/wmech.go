@@ -23,10 +23,17 @@ import (
 )
 
 // Mechanism is the §2.2.3 wireless multicast cost-sharing mechanism.
+//
+// Construction precomputes the MEMT→NWST reduction once; every Run is a
+// query against it, drawing contraction states from a shared pool, so
+// repeated queries (different profiles, different receiver sets) pay no
+// reduction or graph-copy cost. Run is safe for concurrent use: the
+// reduction is read-only after New and the state pool is mutex-guarded.
 type Mechanism struct {
 	Net    *wireless.Network
 	Oracle nwst.Oracle
 	rd     *memtred.Reduction
+	spool  *nwst.StatePool
 }
 
 const eps = 1e-9
@@ -34,10 +41,22 @@ const eps = 1e-9
 // New builds the mechanism; a nil oracle defaults to the branch-spider
 // greedy (the paper's 1.5 ln k choice).
 func New(nw *wireless.Network, oracle nwst.Oracle) *Mechanism {
+	return NewFromReduction(memtred.New(nw), oracle)
+}
+
+// NewFromReduction builds the mechanism on an already-computed reduction,
+// so callers holding one per network (e.g. the query evaluator) share it
+// across mechanism variants instead of rebuilding the H graph.
+func NewFromReduction(rd *memtred.Reduction, oracle nwst.Oracle) *Mechanism {
 	if oracle == nil {
 		oracle = nwst.BranchSpiderOracle
 	}
-	return &Mechanism{Net: nw, Oracle: oracle, rd: memtred.New(nw)}
+	return &Mechanism{
+		Net:    rd.Net,
+		Oracle: oracle,
+		rd:     rd,
+		spool:  nwst.NewStatePool(rd.G, rd.Weights),
+	}
 }
 
 // Name implements mech.Mechanism.
@@ -97,7 +116,7 @@ func (m *Mechanism) attempt(u mech.Profile, active []int) (Result, []int, bool) 
 	for _, r := range active {
 		uh[m.rd.In[r]] = u[r]
 	}
-	inner := nwstmech.New(inst, m.Oracle)
+	inner := nwstmech.NewShared(inst, m.Oracle, m.spool)
 	det := inner.RunDetailed(uh)
 	// Map surviving input-node terminals back to stations.
 	var served []int

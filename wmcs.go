@@ -28,6 +28,7 @@ import (
 	"wmcs/internal/jv"
 	"wmcs/internal/mech"
 	"wmcs/internal/nwst"
+	"wmcs/internal/query"
 	"wmcs/internal/universal"
 	"wmcs/internal/wireless"
 	"wmcs/internal/wmech"
@@ -124,44 +125,33 @@ func Moat(nw *Network, weights func(agent int) float64) Mechanism {
 	return jv.NewMechanism(nw, weights)
 }
 
-// MechanismNames lists the names accepted by ByName.
-func MechanismNames() []string {
-	return []string{
-		"universal-shapley", "universal-mc", "wireless-bb",
-		"alpha1-shapley", "alpha1-mc", "line-shapley", "line-mc", "jv-moat",
-	}
-}
+// Evaluator is the reusable query engine over one fixed network: it
+// caches the per-network substrates (NWST reduction, universal tree,
+// interval tables, one mechanism instance per name) and serves any number
+// of Evaluate/EvaluateBatch queries against them. Build one per network
+// with NewEvaluator; see internal/query and DESIGN.md §7.
+type Evaluator = query.Evaluator
 
-// ByName constructs a mechanism by its registry name, validating the
-// network against the mechanism's requirements.
+// Request is one EvaluateBatch query: mechanism name, candidate receiver
+// set (nil = all stations) and reported profile.
+type Request = query.Request
+
+// Response is the outcome of one batched query.
+type Response = query.Response
+
+// NewEvaluator builds the query engine for a network. All per-network
+// construction happens lazily on the first query that needs it, so this
+// is cheap; repeated queries then amortize it.
+func NewEvaluator(nw *Network) *Evaluator { return query.NewEvaluator(nw) }
+
+// MechanismNames lists the names accepted by ByName and the Evaluator.
+func MechanismNames() []string { return query.Names() }
+
+// ByName constructs a fresh mechanism by its registry name, validating
+// the network against the mechanism's requirements. For repeated queries
+// prefer NewEvaluator, which caches the mechanism and its substrates.
 func ByName(name string, nw *Network) (Mechanism, error) {
-	switch name {
-	case "universal-shapley":
-		return UniversalShapley(nw), nil
-	case "universal-mc":
-		return UniversalMC(nw), nil
-	case "wireless-bb":
-		return WirelessBudgetBalanced(nw), nil
-	case "alpha1-shapley", "alpha1-mc":
-		if !nw.IsEuclidean() || nw.PowerModel().Alpha != 1 {
-			return nil, fmt.Errorf("wmcs: %s requires a Euclidean network with alpha = 1", name)
-		}
-		if name == "alpha1-shapley" {
-			return Alpha1Shapley(nw), nil
-		}
-		return Alpha1MC(nw), nil
-	case "line-shapley", "line-mc":
-		if nw.Dim() != 1 {
-			return nil, fmt.Errorf("wmcs: %s requires a 1-dimensional network", name)
-		}
-		if name == "line-shapley" {
-			return LineShapley(nw), nil
-		}
-		return LineMC(nw), nil
-	case "jv-moat":
-		return Moat(nw, nil), nil
-	}
-	return nil, fmt.Errorf("wmcs: unknown mechanism %q (try one of %v)", name, MechanismNames())
+	return query.NewEvaluator(nw).Mechanism(name)
 }
 
 // OptimalCost returns C*(R) from the best exact solver available for the
