@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"wmcs/internal/cliutil"
 	"wmcs/internal/experiments"
 )
 
@@ -31,7 +32,17 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
-	flag.Parse()
+	cliutil.Parse()
+	var onlyExp *experiments.Experiment
+	if *only != "" {
+		if onlyExp = experiments.Lookup(*only); onlyExp == nil {
+			ids := make([]string, len(experiments.All))
+			for i, e := range experiments.All {
+				ids[i] = e.ID
+			}
+			cliutil.OneOf("-only", *only, ids)
+		}
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -61,13 +72,8 @@ func main() {
 		}()
 	}
 	cfg := experiments.Config{Quick: *quick, Workers: *parallel}
-	if *only != "" {
-		e := experiments.Lookup(*only)
-		if e == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-			os.Exit(2)
-		}
-		tab := e.Run(cfg)
+	if onlyExp != nil {
+		tab := onlyExp.Run(cfg)
 		if *jsonOut {
 			if err := tab.RenderJSON(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)

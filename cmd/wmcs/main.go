@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"wmcs"
+	"wmcs/internal/cliutil"
 	"wmcs/internal/experiments"
 	"wmcs/internal/instances"
 	"wmcs/internal/stats"
@@ -48,7 +49,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "evaluation-engine workers: 1 = serial, 0 = GOMAXPROCS")
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON (one object per line)")
 	)
-	flag.Parse()
+	cliutil.Parse()
 	if *list {
 		fmt.Println("mechanisms:")
 		for _, name := range wmcs.MechanismNames() {
@@ -72,24 +73,25 @@ func main() {
 		experiments.RunAll(os.Stdout, cfg)
 		return
 	}
+	// Validate names before any work so bad input dies with a usage
+	// pointer instead of partial output.
+	cliutil.OneOf("-mech", *mechName, wmcs.MechanismNames())
+	cliutil.OneOf("-model", *model, append([]string{"euclid"}, instances.ScenarioNames()...))
 	rng := rand.New(rand.NewSource(*seed))
 	var nw *wmcs.Network
 	if *model == "euclid" {
 		// Legacy spelling of the uniform family, honouring -d.
 		nw = instances.RandomEuclidean(rng, *n, *d, *alpha, 10)
 	} else {
-		sc, err := instances.ScenarioByName(*model)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+		sc, _ := instances.ScenarioByName(*model) // validated by OneOf above
 		nw = sc.Gen(rng, *n, *alpha)
 	}
 	ev := wmcs.NewEvaluator(nw)
 	m, err := ev.Mechanism(*mechName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		// The name is valid but the network class isn't (e.g. a line
+		// mechanism on a 2-d model).
+		cliutil.Die("%v", err)
 	}
 	drawProfile := func() wmcs.Profile {
 		u := make(wmcs.Profile, nw.N())

@@ -1,0 +1,101 @@
+// Command wmcsd is the wireless multicast cost-sharing daemon: it hosts
+// a registry of named networks (each backed by one shared query
+// evaluator) and serves per-receiver-set cost-sharing queries over HTTP
+// with canonicalized result caching, singleflight coalescing and
+// admission batching (see DESIGN.md §8).
+//
+// Usage:
+//
+//	wmcsd                                  # demo networks on :8571
+//	wmcsd -addr :9000 -manifest nets.json  # a startup manifest of scenario specs
+//	wmcsd -cache 65536 -workers 8          # bigger cache, wider engine pool
+//
+// Endpoints: /healthz, /statsz, /v1/networks, /v1/evaluate, /v1/batch.
+// SIGINT/SIGTERM drain connections and exit 0 after logging
+// "clean shutdown" — CI asserts that exact phrase.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wmcs/internal/cliutil"
+	"wmcs/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8571", "listen address")
+		manifest = flag.String("manifest", "", "startup manifest: JSON array of scenario specs (default: a demo set)")
+		cache    = flag.Int("cache", 0, "result-cache capacity in entries (0 = default 4096, negative disables)")
+		shards   = flag.Int("shards", 0, "result-cache shard count (0 = default 16)")
+		workers  = flag.Int("workers", 0, "engine-pool width per evaluation batch: 1 = serial, 0 = GOMAXPROCS")
+		maxbatch = flag.Int("maxbatch", 0, "max queries per admission batch (0 = default 64)")
+	)
+	cliutil.Parse()
+
+	reg := serve.NewRegistry()
+	if *manifest != "" {
+		f, err := os.Open(*manifest)
+		if err != nil {
+			cliutil.Die("%v", err)
+		}
+		n, err := reg.LoadManifest(f)
+		f.Close()
+		if err != nil {
+			cliutil.Die("%v", err)
+		}
+		log.Printf("wmcsd: loaded %d networks from %s", n, *manifest)
+	} else {
+		for _, sp := range serve.DefaultSpecs() {
+			if err := reg.RegisterSpec(sp); err != nil {
+				cliutil.Die("%v", err)
+			}
+		}
+		log.Printf("wmcsd: no -manifest, hosting the %d demo networks", reg.Len())
+	}
+	for _, e := range reg.Entries() {
+		log.Printf("wmcsd: network %-10s %d stations (source %d)", e.Name, e.Net.N(), e.Net.Source())
+	}
+
+	srv := serve.NewServer(reg, serve.Options{
+		CacheCapacity: *cache,
+		CacheShards:   *shards,
+		Workers:       *workers,
+		MaxBatch:      *maxbatch,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("wmcsd: serving on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("wmcsd: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := httpSrv.Shutdown(ctx)
+		srv.Close()
+		if err != nil {
+			// CI greps for "clean shutdown"; a timed-out drain must not
+			// produce it.
+			log.Fatalf("wmcsd: shutdown incomplete: %v", err)
+		}
+		log.Printf("wmcsd: clean shutdown")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			log.Fatalf("wmcsd: %v", err)
+		}
+	}
+}

@@ -1,0 +1,474 @@
+// Command wmcsload replays deterministic workload mixes against a wmcsd
+// daemon (-addr) or an in-process server (default) and reports
+// throughput, cache behavior and latency quantiles — the repo's
+// end-to-end serving benchmark.
+//
+// The query stream is reproducible: pool contents, Zipf draws and the
+// query→mechanism assignment all derive from -seed, and every response
+// is checked for byte-identity against the first response seen for the
+// same canonical key, so a cache hit that differs from its cold
+// evaluation fails the run (exit 1).
+//
+// Usage:
+//
+//	wmcsload                         # in-process, hotset mix, demo networks
+//	wmcsload -addr :8571             # drive a running wmcsd
+//	wmcsload -workload uniform       # cache-adversarial baseline
+//	wmcsload -quick                  # small run for CI smoke
+//	wmcsload -parallel 16 -queries 8000 -json
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wmcs/internal/cliutil"
+	"wmcs/internal/engine"
+	"wmcs/internal/instances"
+	"wmcs/internal/query"
+	"wmcs/internal/serve"
+	"wmcs/internal/stats"
+	"wmcs/internal/wireless"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "daemon address (host:port or URL); empty = boot an in-process server")
+		manifest = flag.String("manifest", "", "JSON array of scenario specs to drive (default: the wmcsd demo set)")
+		workload = flag.String("workload", "hotset", "workload mix: uniform | hotset | mixed")
+		mechsCSV = flag.String("mechs", "universal-shapley,universal-mc,wireless-bb,jv-moat",
+			"comma-separated mechanism names to spread queries over")
+		queries  = flag.Int("queries", 4000, "total queries to issue")
+		parallel = flag.Int("parallel", 8, "concurrent client workers")
+		hot      = flag.Int("hot", 32, "hot-set pool size per network (hotset/mixed workloads)")
+		zipfS    = flag.Float64("zipf", 1.2, "Zipf exponent over the hot pool (> 1)")
+		umax     = flag.Float64("umax", 50, "utilities drawn uniformly from [0, umax)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		quick    = flag.Bool("quick", false, "small run (600 queries, 4 workers, pool 16)")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		noVerify = flag.Bool("no-verify", false, "skip response byte-identity verification")
+	)
+	cliutil.Parse()
+	if *quick {
+		// Quick presets yield to flags the user set explicitly.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["queries"] {
+			*queries = 600
+		}
+		if !set["parallel"] {
+			*parallel = 4
+		}
+		if !set["hot"] {
+			*hot = 16
+		}
+	}
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	wl, err := instances.WorkloadByName(*workload)
+	if err != nil {
+		cliutil.Die("%v", err)
+	}
+	mechs := cliutil.SplitList(*mechsCSV)
+	if len(mechs) == 0 {
+		cliutil.Die("-mechs is empty")
+	}
+	for _, m := range mechs {
+		cliutil.OneOf("-mechs", m, query.Names())
+	}
+
+	specs := serve.DefaultSpecs()
+	if *manifest != "" {
+		f, err := os.Open(*manifest)
+		if err != nil {
+			cliutil.Die("%v", err)
+		}
+		specs, err = instances.ParseManifest(f)
+		f.Close()
+		if err != nil {
+			cliutil.Die("%s: %v", *manifest, err)
+		}
+		if len(specs) == 0 {
+			cliutil.Die("manifest %s lists no networks", *manifest)
+		}
+	}
+
+	baseURL, shutdown, err := connectOrBoot(*addr, specs)
+	if err != nil {
+		cliutil.Die("%v", err)
+	}
+	defer shutdown()
+	if err := ensureNetworks(baseURL, specs); err != nil {
+		cliutil.Die("%v", err)
+	}
+
+	// Client-side replicas of the networks: Spec.Build is deterministic,
+	// so these agree exactly with what the server hosts; samplers only
+	// need station count and source.
+	nets := make([]*wireless.Network, len(specs))
+	for i, sp := range specs {
+		if nets[i], err = sp.Build(); err != nil {
+			cliutil.Die("%v", err)
+		}
+	}
+
+	before, err := fetchStatsz(baseURL)
+	if err != nil {
+		cliutil.Die("statsz before run: %v", err)
+	}
+
+	run := runLoad(loadConfig{
+		baseURL:  baseURL,
+		specs:    specs,
+		nets:     nets,
+		workload: wl,
+		mechs:    mechs,
+		queries:  *queries,
+		parallel: *parallel,
+		seed:     *seed,
+		verify:   !*noVerify,
+		opts: instances.WorkloadOptions{
+			HotSets: *hot,
+			ZipfS:   *zipfS,
+			UMax:    *umax,
+		},
+	})
+
+	after, err := fetchStatsz(baseURL)
+	if err != nil {
+		cliutil.Die("statsz after run: %v", err)
+	}
+
+	report(run, before, after, *jsonOut, reportMeta{
+		workload: wl.Name, queries: *queries, parallel: *parallel,
+		hot: *hot, zipf: *zipfS, seed: *seed, nets: len(specs),
+	})
+	if run.errors > 0 || run.mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// connectOrBoot returns the base URL of the target daemon, booting an
+// in-process server on a loopback port when addr is empty so the driver
+// exercises the identical HTTP path either way.
+func connectOrBoot(addr string, specs []instances.Spec) (string, func(), error) {
+	if addr != "" {
+		if !strings.Contains(addr, "://") {
+			if strings.HasPrefix(addr, ":") {
+				addr = "127.0.0.1" + addr
+			}
+			addr = "http://" + addr
+		}
+		return strings.TrimSuffix(addr, "/"), func() {}, nil
+	}
+	reg := serve.NewRegistry()
+	for _, sp := range specs {
+		if err := reg.RegisterSpec(sp); err != nil {
+			return "", nil, err
+		}
+	}
+	srv := serve.NewServer(reg, serve.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	shutdown := func() {
+		httpSrv.Close()
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// ensureNetworks registers any spec the daemon does not already host;
+// conflicts (someone else registered it first) are fine.
+func ensureNetworks(baseURL string, specs []instances.Spec) error {
+	resp, err := http.Get(baseURL + "/v1/networks")
+	if err != nil {
+		return fmt.Errorf("listing networks: %w", err)
+	}
+	var list struct {
+		Networks []struct {
+			Name string `json:"name"`
+		} `json:"networks"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("listing networks: %w", err)
+	}
+	have := map[string]bool{}
+	for _, n := range list.Networks {
+		have[n.Name] = true
+	}
+	for _, sp := range specs {
+		if have[sp.Name] {
+			continue
+		}
+		b, _ := json.Marshal(sp)
+		resp, err := http.Post(baseURL+"/v1/networks", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return fmt.Errorf("registering %s: %w", sp.Name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("registering %s: status %d", sp.Name, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// statszDoc mirrors the /statsz fields the report uses.
+type statszDoc struct {
+	Queries        uint64 `json:"queries"`
+	Coalesced      uint64 `json:"coalesced"`
+	Batches        uint64 `json:"batches"`
+	BatchedQueries uint64 `json:"batched_queries"`
+	Cache          struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	} `json:"cache"`
+}
+
+func fetchStatsz(baseURL string) (statszDoc, error) {
+	var doc statszDoc
+	resp, err := http.Get(baseURL + "/statsz")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	return doc, json.NewDecoder(resp.Body).Decode(&doc)
+}
+
+type loadConfig struct {
+	baseURL  string
+	specs    []instances.Spec
+	nets     []*wireless.Network
+	workload instances.Workload
+	mechs    []string
+	queries  int
+	parallel int
+	seed     int64
+	verify   bool
+	opts     instances.WorkloadOptions
+}
+
+type mechStats struct {
+	count                int
+	hits, misses, coales int
+	latMS                []float64
+}
+
+type loadResult struct {
+	wall       time.Duration
+	perMech    map[string]*mechStats
+	errors     int
+	firstError string
+	mismatches int
+	distinct   int
+	compared   int
+}
+
+// runLoad fans the query stream over parallel client workers. Worker w
+// issues global query indices w, w+P, w+2P, …; each worker holds one
+// sampler per network whose hot pool derives from (seed, network) only
+// — shared across workers — while its draw order derives from (seed,
+// worker, network), so workers hammer the same working set from
+// independent angles.
+func runLoad(cfg loadConfig) loadResult {
+	res := loadResult{perMech: map[string]*mechStats{}}
+	for _, m := range cfg.mechs {
+		res.perMech[m] = &mechStats{}
+	}
+	var (
+		mu     sync.Mutex
+		seen   = map[string][]byte{}
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.parallel}}
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.parallel; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samplers := make([]instances.Sampler, len(cfg.nets))
+			for j := range cfg.nets {
+				opt := cfg.opts
+				opt.PoolRNG = engine.RNG(cfg.seed, 9000+j)
+				samplers[j] = cfg.workload.New(engine.RNG(cfg.seed, 7000+w*131+j), cfg.nets[j], opt)
+			}
+			for q := w; q < cfg.queries; q += cfg.parallel {
+				j := q % len(cfg.nets)
+				query := samplers[j].Next()
+				mechName := cfg.mechs[mechFor(query)%len(cfg.mechs)]
+				req := serve.EvalRequest{
+					Network: cfg.specs[j].Name,
+					Mech:    mechName,
+					R:       query.R,
+					Profile: query.U,
+				}
+				body, _ := json.Marshal(req)
+				t0 := time.Now()
+				resp, err := client.Post(cfg.baseURL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					res.errors++
+					if res.firstError == "" {
+						res.firstError = err.Error()
+					}
+					mu.Unlock()
+					continue
+				}
+				respBody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				source := resp.Header.Get("X-Wmcs-Cache")
+				mu.Lock()
+				if resp.StatusCode != http.StatusOK {
+					res.errors++
+					if res.firstError == "" {
+						res.firstError = fmt.Sprintf("status %d: %s", resp.StatusCode, respBody)
+					}
+					mu.Unlock()
+					continue
+				}
+				ms := res.perMech[mechName]
+				ms.count++
+				ms.latMS = append(ms.latMS, float64(lat.Nanoseconds())/1e6)
+				switch source {
+				case "hit":
+					ms.hits++
+				case "coalesced":
+					ms.coales++
+				default:
+					ms.misses++
+				}
+				if cfg.verify {
+					c, cerr := serve.Canonicalize(req, cfg.nets[j].N(), cfg.nets[j].Source())
+					if cerr == nil {
+						// Canon keys are per-network; qualify with the name
+						// (one run never crosses a re-registration, so the
+						// name is identity enough client-side).
+						key := req.Network + "\x1f" + c.Key
+						if prev, ok := seen[key]; ok {
+							res.compared++
+							if !bytes.Equal(prev, respBody) {
+								res.mismatches++
+								if res.firstError == "" {
+									res.firstError = fmt.Sprintf("byte mismatch on %s/%s", req.Network, req.Mech)
+								}
+							}
+						} else {
+							seen[key] = respBody
+							res.distinct = len(seen)
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	res.distinct = len(seen)
+	return res
+}
+
+// mechFor assigns a mechanism index to a query by hashing its identity
+// (receiver set + utility bits): deterministic across workers and runs,
+// and stable per distinct query, so repeats always land on the same
+// mechanism and stay cacheable.
+func mechFor(q instances.Query) int {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range q.R {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r))
+		h.Write(buf[:])
+	}
+	for _, u := range q.U {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(u))
+		h.Write(buf[:])
+	}
+	return int(h.Sum64() % math.MaxInt32)
+}
+
+type reportMeta struct {
+	workload          string
+	queries, parallel int
+	hot               int
+	zipf              float64
+	seed              int64
+	nets              int
+}
+
+func report(run loadResult, before, after statszDoc, jsonOut bool, meta reportMeta) {
+	tab := stats.NewTable(
+		fmt.Sprintf("wmcsload: %s workload, %d queries, %d workers (seed %d)",
+			meta.workload, meta.queries, meta.parallel, meta.seed),
+		"mechanism", "queries", "hit", "miss", "coalesced", "p50 ms", "p90 ms", "p99 ms")
+	names := make([]string, 0, len(run.perMech))
+	for n := range run.perMech {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ms := run.perMech[n]
+		sort.Float64s(ms.latMS)
+		q := func(p float64) string {
+			if len(ms.latMS) == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.3f", stats.Quantile(ms.latMS, p))
+		}
+		tab.Add(n, fmt.Sprint(ms.count), fmt.Sprint(ms.hits), fmt.Sprint(ms.misses),
+			fmt.Sprint(ms.coales), q(0.50), q(0.90), q(0.99))
+	}
+	served := meta.queries - run.errors
+	qps := float64(served) / run.wall.Seconds()
+	tab.Note("mix: %d networks, hot pool %d/network, zipf s=%g", meta.nets, meta.hot, meta.zipf)
+	tab.Note("wall %.2fs   throughput %.0f q/s   errors %d", run.wall.Seconds(), qps, run.errors)
+	dHits := after.Cache.Hits - before.Cache.Hits
+	dQueries := after.Queries - before.Queries
+	dCoalesced := after.Coalesced - before.Coalesced
+	dBatches := after.Batches - before.Batches
+	dBatched := after.BatchedQueries - before.BatchedQueries
+	hitRate := 0.0
+	if dQueries > 0 {
+		hitRate = float64(dHits) / float64(dQueries)
+	}
+	batchFactor := 0.0
+	if dBatches > 0 {
+		batchFactor = float64(dBatched) / float64(dBatches)
+	}
+	tab.Note("server: %d queries, %d cache hits (hit rate %.1f%%), %d coalesced, %d evaluations in %d batches (%.2f per batch)",
+		dQueries, dHits, 100*hitRate, dCoalesced, dBatched, dBatches, batchFactor)
+	tab.Note("verification: %d distinct queries, %d repeat responses compared, %d byte mismatches",
+		run.distinct, run.compared, run.mismatches)
+	if run.firstError != "" {
+		tab.Note("first error: %s", run.firstError)
+	}
+	if jsonOut {
+		if err := tab.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	tab.Render(os.Stdout)
+}

@@ -1,0 +1,31 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{" a , ,b,", []string{"a", "b"}},
+		{"", nil},
+		{"solo", []string{"solo"}},
+	}
+	for _, c := range cases {
+		if got := SplitList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOneOfAccepts(t *testing.T) {
+	// The rejection path exits the process, so only the accept path is
+	// unit-testable; cmd behavior is covered by the CI smoke script.
+	if got := OneOf("mech", "b", []string{"a", "b"}); got != "b" {
+		t.Fatalf("OneOf returned %q", got)
+	}
+}

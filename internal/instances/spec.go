@@ -1,0 +1,85 @@
+package instances
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"wmcs/internal/wireless"
+)
+
+// Spec names one network drawn from the scenario registry: the scenario
+// family plus the generator parameters. It is the unit of manifest-driven
+// construction — the serving layer's startup manifests and the workload
+// driver both describe their networks as Specs — and it is deterministic:
+// the same Spec always builds the same network, because the generator rng
+// is seeded from the Spec alone.
+type Spec struct {
+	// Name is the handle the network is registered under. Optional for
+	// direct Build calls; the serving registry requires it.
+	Name string `json:"name"`
+	// Scenario is a registry family name (see ScenarioNames), or "euclid",
+	// the CLI's legacy spelling of "uniform" honouring Dim.
+	Scenario string `json:"scenario"`
+	// N is the station count (station 0 is the source in every family but
+	// "line").
+	N int `json:"n"`
+	// Alpha is the distance-power gradient (ignored by "symmetric";
+	// defaulted to 2 when zero).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Seed seeds the generator rng.
+	Seed int64 `json:"seed"`
+	// Dim is the Euclidean dimension for the legacy "euclid" scenario
+	// (defaulted to 2 when zero); registry families fix their own geometry.
+	Dim int `json:"dim,omitempty"`
+}
+
+// String renders the spec compactly for logs and table headers.
+func (s Spec) String() string {
+	name := s.Name
+	if name == "" {
+		name = s.Scenario
+	}
+	return fmt.Sprintf("%s(%s n=%d α=%g seed=%d)", name, s.Scenario, s.N, s.Alpha, s.Seed)
+}
+
+// ParseManifest reads a manifest — a JSON array of Specs — rejecting
+// unknown fields so typos fail loudly at parse time. It is the one
+// manifest parser: the serving registry and the workload driver both
+// use it, so a manifest one accepts the other accepts too.
+func ParseManifest(src io.Reader) ([]Spec, error) {
+	var specs []Spec
+	dec := json.NewDecoder(src)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("instances: parsing manifest: %w", err)
+	}
+	return specs, nil
+}
+
+// Build draws the spec's network. It validates the scenario name and the
+// station count, applies the Alpha/Dim defaults, and returns the same
+// network for the same spec every time.
+func (s Spec) Build() (*wireless.Network, error) {
+	if s.N < 2 {
+		return nil, fmt.Errorf("instances: spec %q needs n >= 2 stations, have %d", s.Name, s.N)
+	}
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = 2
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	if s.Scenario == "euclid" {
+		d := s.Dim
+		if d == 0 {
+			d = 2
+		}
+		return RandomEuclidean(rng, s.N, d, alpha, 10), nil
+	}
+	sc, err := ScenarioByName(s.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Gen(rng, s.N, alpha), nil
+}

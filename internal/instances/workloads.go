@@ -1,0 +1,201 @@
+package instances
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wmcs/internal/mech"
+	"wmcs/internal/wireless"
+)
+
+// Query is one serving-layer request drawn by a workload sampler: a
+// candidate receiver set (sorted, source excluded) and the reported
+// utilities of its members. Utilities are quantized to the serving
+// codec's grid upstream; samplers just draw raw floats.
+type Query struct {
+	R []int
+	U mech.Profile
+}
+
+// Sampler draws a deterministic stream of queries from the rng it was
+// built with. Samplers are not safe for concurrent use — give each
+// client goroutine its own, seeded per worker (engine.SeedFor), so the
+// stream never depends on scheduling. Returned queries may alias the
+// sampler's internal pool (that is what makes a hot set hot): treat
+// them as read-only.
+type Sampler interface {
+	Next() Query
+}
+
+// WorkloadOptions tune a workload family; zero values select defaults.
+type WorkloadOptions struct {
+	// HotSets is the pool size of the hot-set families: how many distinct
+	// queries the Zipf distribution draws over (default 64).
+	HotSets int
+	// ZipfS is the Zipf exponent over the hot pool, > 1 (default 1.2,
+	// mildly skewed; larger is hotter).
+	ZipfS float64
+	// UMax bounds the uniform utility draw [0, UMax) (default 50).
+	UMax float64
+	// MixCold is the fraction of fresh (never-repeating) queries in the
+	// "mixed" family (default 0.2).
+	MixCold float64
+	// PoolRNG, when non-nil, draws the hot pool instead of the sampler's
+	// own rng: seed it identically across client workers and they share
+	// one working set (the cache-relevant identity) while their Zipf
+	// draw orders stay independent.
+	PoolRNG *rand.Rand
+}
+
+func (o WorkloadOptions) withDefaults() WorkloadOptions {
+	if o.HotSets <= 0 {
+		o.HotSets = 64
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.UMax <= 0 {
+		o.UMax = 50
+	}
+	if o.MixCold <= 0 || o.MixCold >= 1 {
+		o.MixCold = 0.2
+	}
+	return o
+}
+
+// Workload is a named receiver-set workload family in the registry. New
+// builds a sampler over the given network from the rng; all randomness
+// (including the hot pool itself) derives from that rng, so equal seeds
+// give equal query streams.
+type Workload struct {
+	Name string
+	Desc string
+	New  func(rng *rand.Rand, nw *wireless.Network, opt WorkloadOptions) Sampler
+}
+
+// workloads is the registry, in presentation order. "uniform" is the
+// cache-adversarial baseline (every query fresh), "hotset" the Zipf
+// repeated-query service workload the caching layer is built for, and
+// "mixed" the 80/20 blend between them.
+var workloads = []Workload{
+	{
+		Name: "uniform", Desc: "every query a fresh uniform receiver set + profile (no repeats)",
+		New: func(rng *rand.Rand, nw *wireless.Network, opt WorkloadOptions) Sampler {
+			opt = opt.withDefaults()
+			return &uniformSampler{rng: rng, nw: nw, umax: opt.UMax}
+		},
+	},
+	{
+		Name: "hotset", Desc: "Zipf draw over a fixed pool of pre-drawn queries (hot working set)",
+		New: func(rng *rand.Rand, nw *wireless.Network, opt WorkloadOptions) Sampler {
+			opt = opt.withDefaults()
+			return newHotSetSampler(rng, nw, opt)
+		},
+	},
+	{
+		Name: "mixed", Desc: "hotset with a cold fraction of fresh queries (default 20%)",
+		New: func(rng *rand.Rand, nw *wireless.Network, opt WorkloadOptions) Sampler {
+			opt = opt.withDefaults()
+			return &mixedSampler{
+				rng:  rng,
+				hot:  newHotSetSampler(rng, nw, opt),
+				cold: &uniformSampler{rng: rng, nw: nw, umax: opt.UMax},
+				p:    opt.MixCold,
+			}
+		},
+	},
+}
+
+// Workloads returns the registry in presentation order (shared slice, do
+// not modify).
+func Workloads() []Workload { return workloads }
+
+// WorkloadNames lists the registry names in order.
+func WorkloadNames() []string {
+	names := make([]string, len(workloads))
+	for i, w := range workloads {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// WorkloadByName looks a workload up by its registry name.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range workloads {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("instances: unknown workload %q (have %v)", name, WorkloadNames())
+}
+
+// drawQuery draws one fresh query: every non-source station joins R with
+// probability 1/2 (re-drawn until R is nonempty) and reports a uniform
+// utility in [0, umax).
+func drawQuery(rng *rand.Rand, nw *wireless.Network, umax float64) Query {
+	n, src := nw.N(), nw.Source()
+	var R []int
+	for len(R) == 0 {
+		R = R[:0]
+		for i := 0; i < n; i++ {
+			if i != src && rng.Intn(2) == 0 {
+				R = append(R, i)
+			}
+		}
+	}
+	sort.Ints(R)
+	u := make(mech.Profile, n)
+	for _, r := range R {
+		u[r] = rng.Float64() * umax
+	}
+	return Query{R: R, U: u}
+}
+
+type uniformSampler struct {
+	rng  *rand.Rand
+	nw   *wireless.Network
+	umax float64
+}
+
+func (s *uniformSampler) Next() Query { return drawQuery(s.rng, s.nw, s.umax) }
+
+// hotSetSampler pre-draws a pool of queries and serves them under a Zipf
+// popularity law: query i of the pool is drawn with probability ∝
+// 1/(i+1)^s. The pool and the draw order both derive from the
+// constructing rng only.
+type hotSetSampler struct {
+	pool []Query
+	zipf *rand.Zipf
+}
+
+func newHotSetSampler(rng *rand.Rand, nw *wireless.Network, opt WorkloadOptions) *hotSetSampler {
+	poolRNG := opt.PoolRNG
+	if poolRNG == nil {
+		poolRNG = rng
+	}
+	pool := make([]Query, opt.HotSets)
+	for i := range pool {
+		pool[i] = drawQuery(poolRNG, nw, opt.UMax)
+	}
+	return &hotSetSampler{
+		pool: pool,
+		zipf: rand.NewZipf(rng, opt.ZipfS, 1, uint64(len(pool)-1)),
+	}
+}
+
+func (s *hotSetSampler) Next() Query { return s.pool[s.zipf.Uint64()] }
+
+type mixedSampler struct {
+	rng  *rand.Rand
+	hot  *hotSetSampler
+	cold *uniformSampler
+	p    float64
+}
+
+func (s *mixedSampler) Next() Query {
+	if s.rng.Float64() < s.p {
+		return s.cold.Next()
+	}
+	return s.hot.Next()
+}

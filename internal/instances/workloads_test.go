@@ -1,0 +1,126 @@
+package instances
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSpecBuildDeterministic: equal specs build byte-equal networks;
+// different seeds differ.
+func TestSpecBuildDeterministic(t *testing.T) {
+	for _, scenario := range append([]string{"euclid"}, ScenarioNames()...) {
+		s := Spec{Name: "t", Scenario: scenario, N: 9, Alpha: 2, Seed: 42}
+		a, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		b, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if a.N() != 9 || b.N() != 9 {
+			t.Fatalf("%s: wrong station count %d/%d", scenario, a.N(), b.N())
+		}
+		for i := 0; i < a.N(); i++ {
+			for j := 0; j < a.N(); j++ {
+				if a.C(i, j) != b.C(i, j) {
+					t.Fatalf("%s: rebuild diverged at C(%d,%d)", scenario, i, j)
+				}
+			}
+		}
+		s2 := s
+		s2.Seed = 43
+		c, err := s2.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := 0; i < a.N() && same; i++ {
+			for j := 0; j < a.N(); j++ {
+				if a.C(i, j) != c.C(i, j) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds built identical networks", scenario)
+		}
+	}
+}
+
+func TestSpecBuildValidates(t *testing.T) {
+	if _, err := (Spec{Scenario: "uniform", N: 1}).Build(); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := (Spec{Scenario: "nope", N: 8}).Build(); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestWorkloadStreamsDeterministic: equal seeds give equal query streams,
+// for every registry workload.
+func TestWorkloadStreamsDeterministic(t *testing.T) {
+	nw, err := Spec{Scenario: "uniform", N: 12, Seed: 7}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range Workloads() {
+		a := w.New(rand.New(rand.NewSource(3)), nw, WorkloadOptions{})
+		b := w.New(rand.New(rand.NewSource(3)), nw, WorkloadOptions{})
+		for i := 0; i < 200; i++ {
+			qa, qb := a.Next(), b.Next()
+			if !reflect.DeepEqual(qa, qb) {
+				t.Fatalf("%s: stream diverged at query %d", w.Name, i)
+			}
+			if len(qa.R) == 0 {
+				t.Fatalf("%s: empty receiver set at query %d", w.Name, i)
+			}
+			for k := 1; k < len(qa.R); k++ {
+				if qa.R[k-1] >= qa.R[k] {
+					t.Fatalf("%s: receiver set not sorted/unique: %v", w.Name, qa.R)
+				}
+			}
+			if src := nw.Source(); qa.U[src] != 0 {
+				t.Fatalf("%s: source carries utility %g", w.Name, qa.U[src])
+			}
+		}
+	}
+}
+
+// TestHotSetRepeats: the Zipf hot-set sampler repeats queries — the
+// property the serving cache feeds on — while uniform essentially never
+// does.
+func TestHotSetRepeats(t *testing.T) {
+	nw, err := Spec{Scenario: "uniform", N: 14, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(name string, draws int) int {
+		w, err := WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := w.New(rand.New(rand.NewSource(11)), nw, WorkloadOptions{HotSets: 16})
+		seen := map[string]bool{}
+		for i := 0; i < draws; i++ {
+			q := s.Next()
+			key := ""
+			for _, r := range q.R {
+				key += string(rune(r)) + ":"
+			}
+			for _, u := range q.U {
+				key += string(rune(int(u*1000))) + ","
+			}
+			seen[key] = true
+		}
+		return len(seen)
+	}
+	if d := distinct("hotset", 400); d > 16 {
+		t.Fatalf("hotset drew %d distinct queries from a pool of 16", d)
+	}
+	if d := distinct("uniform", 400); d < 390 {
+		t.Fatalf("uniform repeated itself: only %d distinct in 400", d)
+	}
+}

@@ -42,7 +42,27 @@ func Names() []string {
 
 // Evaluator is the reusable query engine for one network: it caches the
 // MEMT→NWST reduction and one mechanism instance per registry name, each
-// built on first use. Safe for concurrent use.
+// built on first use.
+//
+// Concurrency: an Evaluator is safe for unbounded concurrent use, from a
+// cold start onward — the serving layer shares one per hosted network
+// across every client. The discipline is two-layered:
+//
+//   - construction is serialized by e.mu: the substrate caches (rd, spt)
+//     and the mechanism map are only read or written with the mutex
+//     held, so concurrent first queries race to the lock, one builds,
+//     and the rest observe the completed value;
+//   - execution is lock-free: Run is invoked on the shared mechanism
+//     outside the mutex, which is sound because every registry mechanism
+//     is immutable after construction, and the one piece of mutable
+//     per-query state — the wireless mechanism's NWST contraction
+//     workspace — is checked out of a mutex-guarded StatePool
+//     (nwst.StatePool), giving each concurrent Run a private state.
+//
+// The determinism contract survives concurrency: pooled states reset to
+// as-constructed behavior, so a query's outcome is bit-identical no
+// matter which goroutine runs it, how many run at once, or what ran
+// before (TestEvaluatorConcurrentHammer pins this under -race).
 type Evaluator struct {
 	net    *wireless.Network
 	oracle nwst.Oracle

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mech"
+)
+
+// TestEvaluatorConcurrentHammer drives one Evaluator from many
+// goroutines at once — from a cold start, so the lazy substrate
+// construction (reduction, universal tree, mechanism map) races too —
+// and checks every concurrent outcome bit-for-bit against a serial
+// baseline. Run under -race (CI does) this is the package's concurrency
+// proof; without -race it still pins cross-goroutine determinism.
+func TestEvaluatorConcurrentHammer(t *testing.T) {
+	const (
+		n       = 10
+		workers = 12
+		rounds  = 2
+	)
+	rng := rand.New(rand.NewSource(77))
+	nw := instances.RandomEuclidean(rng, n, 2, 2, 10)
+	names := []string{"universal-shapley", "universal-mc", "wireless-bb", "jv-moat"}
+
+	// Fixed query set, answered serially first on a separate evaluator.
+	profiles := make([]mech.Profile, 6)
+	for i := range profiles {
+		profiles[i] = mech.RandomProfile(rng, n, 50)
+		profiles[i][nw.Source()] = 0
+	}
+	baseline := make(map[string][]mech.Outcome)
+	serial := NewEvaluator(nw)
+	for _, name := range names {
+		outs := make([]mech.Outcome, len(profiles))
+		for i, u := range profiles {
+			o, err := serial.Evaluate(name, nil, u)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			outs[i] = o
+		}
+		baseline[name] = outs
+	}
+
+	// Cold evaluator, hammered: every worker walks the query grid in a
+	// different order so builds, pool checkouts and cache reads overlap.
+	ev := NewEvaluator(nw)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < len(names)*len(profiles); k++ {
+					idx := (k*7 + w + r) % (len(names) * len(profiles))
+					name := names[idx%len(names)]
+					pi := idx / len(names)
+					got, err := ev.Evaluate(name, nil, profiles[pi])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !sameOutcome(baseline[name][pi], got) {
+						t.Errorf("worker %d: %s on profile %d diverged from serial baseline", w, name, pi)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEvaluateBatchConcurrentCallers checks the other concurrency
+// surface: many goroutines each running EvaluateBatch on the same
+// evaluator (as the serving layer's dispatcher does for every admission
+// round) with full worker pools, all agreeing with the serial answers.
+func TestEvaluateBatchConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	nw := instances.RandomEuclidean(rng, 9, 2, 2, 10)
+	reqs := make([]Request, 12)
+	for i := range reqs {
+		reqs[i] = Request{
+			Mech:    []string{"universal-shapley", "wireless-bb", "jv-moat"}[i%3],
+			Profile: mech.RandomProfile(rng, 9, 40),
+		}
+	}
+	ev := NewEvaluator(nw)
+	want := ev.EvaluateBatch(reqs, 1)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := ev.EvaluateBatch(reqs, 4)
+			for i := range got {
+				if (got[i].Err == nil) != (want[i].Err == nil) {
+					t.Errorf("request %d: error mismatch", i)
+					return
+				}
+				if got[i].Err == nil && !sameOutcome(want[i].Outcome, got[i].Outcome) {
+					t.Errorf("request %d: outcome diverged under concurrent batches", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"wmcs/internal/query"
+)
+
+// batcher is the admission layer between HTTP handlers and the engine
+// pool. Handlers submit one canonical query each; a single dispatcher
+// goroutine drains whatever has accumulated, groups it by network, and
+// runs each group as one EvaluateBatch on the evaluator's engine pool.
+// Under load this turns N concurrent distinct queries into a few
+// pool-wide batches instead of N independent evaluations; when idle it
+// degenerates to batch size 1 with no added latency (the dispatcher
+// blocks on the channel, not on a timer).
+//
+// Tasks carry the NetworkEntry they were admitted with: an entry
+// evicted mid-flight still answers (correctly, for the network the
+// client addressed), and its result is cached under that registration's
+// generation prefix — unreachable by any future request, so a
+// re-registered name can never serve a predecessor's bytes.
+type batcher struct {
+	cache   *Cache
+	stats   *Stats
+	workers int
+	maxWait int // max tasks drained into one dispatch round
+
+	tasks    chan *admitTask
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+type admitTask struct {
+	entry *NetworkEntry
+	canon CanonRequest
+	key   string // full cache key (generation prefix + canon.Key)
+	reply chan taskResult
+}
+
+type taskResult struct {
+	body []byte
+	err  error
+}
+
+func newBatcher(cache *Cache, stats *Stats, workers, maxBatch int) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	b := &batcher{
+		cache:   cache,
+		stats:   stats,
+		workers: workers,
+		maxWait: maxBatch,
+		tasks:   make(chan *admitTask, maxBatch),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// do evaluates one canonical query through the admission queue and
+// blocks for its result. Callers sit behind the singleflight group, so
+// at most one task per distinct key is in the queue at a time.
+func (b *batcher) do(entry *NetworkEntry, c CanonRequest, key string) ([]byte, error) {
+	t := &admitTask{entry: entry, canon: c, key: key, reply: make(chan taskResult, 1)}
+	select {
+	case b.tasks <- t:
+	case <-b.quit:
+		return nil, errShuttingDown
+	}
+	select {
+	case r := <-t.reply:
+		return r.body, r.err
+	case <-b.quit:
+		// The dispatcher may have exited between our enqueue and its
+		// drain; prefer a result if one landed (the reply channel is
+		// buffered, so a late dispatcher reply never blocks either way).
+		select {
+		case r := <-t.reply:
+			return r.body, r.err
+		default:
+			return nil, errShuttingDown
+		}
+	}
+}
+
+var errShuttingDown = fmt.Errorf("server shutting down")
+
+// close stops the dispatcher after it finishes the round in progress;
+// tasks still queued are failed cleanly. Idempotent.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.quit) })
+	<-b.done
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.quit:
+			b.failQueued()
+			return
+		case t := <-b.tasks:
+			batch := []*admitTask{t}
+		drain:
+			for len(batch) < b.maxWait {
+				select {
+				case t2 := <-b.tasks:
+					batch = append(batch, t2)
+				default:
+					break drain
+				}
+			}
+			b.run(batch)
+		}
+	}
+}
+
+func (b *batcher) failQueued() {
+	for {
+		select {
+		case t := <-b.tasks:
+			t.reply <- taskResult{err: errShuttingDown}
+		default:
+			return
+		}
+	}
+}
+
+// run executes one dispatch round: group by admitted entry, evaluate
+// each group as one batch on the engine pool, encode, fill the cache,
+// reply.
+func (b *batcher) run(batch []*admitTask) {
+	b.stats.Batches.Add(1)
+	b.stats.BatchedQueries.Add(uint64(len(batch)))
+	byEntry := make(map[*NetworkEntry][]*admitTask)
+	var order []*NetworkEntry
+	for _, t := range batch {
+		if _, ok := byEntry[t.entry]; !ok {
+			order = append(order, t.entry)
+		}
+		byEntry[t.entry] = append(byEntry[t.entry], t)
+	}
+	for _, entry := range order {
+		group := byEntry[entry]
+		reqs := make([]query.Request, len(group))
+		for i, t := range group {
+			reqs[i] = query.Request{Mech: t.canon.Mech, Profile: t.canon.Profile}
+		}
+		resps := entry.Ev.EvaluateBatch(reqs, b.workers)
+		for i, t := range group {
+			if resps[i].Err != nil {
+				t.reply <- taskResult{err: resps[i].Err}
+				continue
+			}
+			body := EncodeOutcome(entry.Name, t.canon.Mech, resps[i].Outcome)
+			b.cache.Put(t.key, body)
+			t.reply <- taskResult{body: body}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(4, 1) // one shard so the LRU order is global
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 is the cold end, then overflow.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k4", []byte{4})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("cold entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evicted != 1 || st.Len != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheDeletePrefix(t *testing.T) {
+	c := NewCache(64, 4)
+	c.Put("net-a\x1fjv-moat\x1f1=0x1p+0", []byte("a1"))
+	c.Put("net-a\x1fwireless-bb\x1f2=0x1p+0", []byte("a2"))
+	c.Put("net-b\x1fjv-moat\x1f1=0x1p+0", []byte("b1"))
+	if n := c.DeletePrefix(networkKeyPrefix("net-a")); n != 2 {
+		t.Fatalf("dropped %d entries, want 2", n)
+	}
+	if _, ok := c.Get("net-b\x1fjv-moat\x1f1=0x1p+0"); !ok {
+		t.Fatal("unrelated network entry dropped")
+	}
+	if _, ok := c.Get("net-a\x1fjv-moat\x1f1=0x1p+0"); ok {
+		t.Fatal("evicted network entry survived")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1, 8)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// TestCacheConcurrent hammers all shards from many goroutines; the race
+// detector is the oracle.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%200)
+				if v, ok := c.Get(k); ok && len(v) == 0 {
+					t.Error("empty value")
+					return
+				}
+				c.Put(k, []byte(k))
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.DeletePrefix("key-1")
+}

@@ -1,0 +1,209 @@
+// Package serve is the multi-network query service over the query
+// engine (DESIGN.md §8): a registry of named networks each backed by one
+// shared query.Evaluator, a canonicalizing request codec feeding a
+// sharded LRU result cache, singleflight coalescing of concurrent
+// identical queries, admission batching of distinct ones onto the engine
+// pool, and a stdlib net/http JSON surface (/v1/networks, /v1/evaluate,
+// /v1/batch, /healthz, /statsz).
+//
+// The load-bearing invariant is byte-identity: a query's HTTP response
+// body is the same byte string whether it was computed cold, replayed
+// from the cache, coalesced onto another caller's computation, or
+// evaluated inside a batch — because the cache stores the encoded
+// response itself and the codec canonicalizes every request before the
+// key is formed.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wmcs/internal/mech"
+	"wmcs/internal/query"
+)
+
+// Quantum is the utility quantization grid: every reported utility is
+// rounded to the nearest multiple before keying and before evaluation,
+// so two requests that differ below the grid are the same query — and,
+// crucially, a cache hit is exactly a cold evaluation of the same
+// canonical profile, never of a nearby one.
+const Quantum = 1e-6
+
+// EvalRequest is the wire form of one /v1/evaluate query (and of each
+// element of /v1/batch).
+type EvalRequest struct {
+	// Network is the registry name of the network to query.
+	Network string `json:"network"`
+	// Mech is a mechanism registry name (query.Names).
+	Mech string `json:"mech"`
+	// R is the candidate receiver set; empty/absent means every station
+	// may be served. Order and duplicates are irrelevant: the codec
+	// sorts, dedups, and folds R into the profile mask.
+	R []int `json:"receivers,omitempty"`
+	// Profile holds the reported utilities, indexed by station id; its
+	// length must equal the network's station count.
+	Profile []float64 `json:"profile"`
+}
+
+// CanonRequest is a request in canonical form: the profile is masked to
+// R (and zeroed at the source), quantized to the grid, and Key
+// identifies the query *within its network* (mechanism + sparse
+// profile). Two wire requests with equal semantics canonicalize to
+// equal keys; the server prefixes Key with the target registration's
+// name and generation to form the cache key, so entries can never
+// outlive the registration they were computed against.
+type CanonRequest struct {
+	Network string
+	Mech    string
+	Profile mech.Profile
+	Key     string
+}
+
+// mechNames is the set form of query.Names for O(1) validation.
+var mechNames = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, n := range query.Names() {
+		m[n] = true
+	}
+	return m
+}()
+
+// Canonicalize validates a wire request against a network of n stations
+// with the given source and produces its canonical form. The rules (the
+// cache-key contract, DESIGN.md §8):
+//
+//  1. the mechanism name must be a registry name;
+//  2. len(Profile) must equal n, every entry finite and >= 0;
+//  3. R entries must lie in [0, n); R is sorted and deduplicated, then
+//     folded into the profile: utilities outside R (and at the source)
+//     become 0 — mechanisms only ever see the masked profile, so (R, u)
+//     and (nil, mask(u)) are the same query and share a cache entry;
+//  4. every remaining utility is rounded to the nearest multiple of
+//     Quantum (ties away from zero, -0 normalized to +0);
+//  5. the key encodes the mechanism and the sparse nonzero entries of
+//     the canonical profile (reporting 0 is identical to not requesting
+//     service, so zeros never reach the key); the network's identity
+//     enters at the serving layer as a name+generation prefix.
+func Canonicalize(req EvalRequest, n, source int) (CanonRequest, error) {
+	if !mechNames[req.Mech] {
+		return CanonRequest{}, fmt.Errorf("unknown mechanism %q (have %s)", req.Mech, strings.Join(query.Names(), ", "))
+	}
+	if len(req.Profile) != n {
+		return CanonRequest{}, fmt.Errorf("profile has %d entries, network has %d stations", len(req.Profile), n)
+	}
+	// Validate the wire profile in full — entries outside R included —
+	// so a malformed request is 4xx'd rather than silently masked away.
+	for i, v := range req.Profile {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return CanonRequest{}, fmt.Errorf("utility %d is not finite", i)
+		}
+		if v < 0 {
+			return CanonRequest{}, fmt.Errorf("utility %d is negative (%g)", i, v)
+		}
+	}
+	u := make(mech.Profile, n)
+	if len(req.R) == 0 {
+		// Absent and explicitly-empty R read the same on the wire:
+		// every station may be served ("nobody" is expressed by an
+		// all-zero profile, identically to excluding everyone).
+		copy(u, req.Profile)
+	} else {
+		for _, r := range req.R {
+			if r < 0 || r >= n {
+				return CanonRequest{}, fmt.Errorf("receiver %d out of range [0, %d)", r, n)
+			}
+			u[r] = req.Profile[r]
+		}
+	}
+	if source >= 0 && source < n {
+		u[source] = 0
+	}
+	for i, v := range u {
+		u[i] = quantize(v)
+	}
+	c := CanonRequest{Network: req.Network, Mech: req.Mech, Profile: u}
+	c.Key = buildKey(c)
+	return c, nil
+}
+
+// quantize rounds to the Quantum grid, normalizing -0 so the key byte
+// encoding of "zero" is unique.
+func quantize(v float64) float64 {
+	q := math.Round(v/Quantum) * Quantum
+	if q == 0 {
+		return 0
+	}
+	return q
+}
+
+// buildKey renders the canonical key. Nonzero utilities are encoded as
+// exact hex floats ('x' formatting round-trips float64 bit patterns),
+// so distinct grid points never collide; 0x1f separators cannot appear
+// in any component.
+func buildKey(c CanonRequest) string {
+	var b strings.Builder
+	b.Grow(len(c.Mech) + 16*len(c.Profile)/2)
+	b.WriteString(c.Mech)
+	for i, v := range c.Profile {
+		if v == 0 {
+			continue
+		}
+		b.WriteByte(0x1f)
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+	}
+	return b.String()
+}
+
+// networkKeyPrefix is the prefix every key of a network's entries
+// shares; eviction purges by it.
+func networkKeyPrefix(network string) string { return network + "\x1f" }
+
+// EvalResponse is the canonical wire form of one outcome. Shares are a
+// sorted array (not a map) so encoding/json marshals deterministically;
+// Receivers is sorted by the mechanism contract.
+type EvalResponse struct {
+	Network   string       `json:"network"`
+	Mech      string       `json:"mech"`
+	Receivers []int        `json:"receivers"`
+	Shares    []AgentShare `json:"shares"`
+	Cost      float64      `json:"cost"`
+}
+
+// AgentShare is one receiver's cost share.
+type AgentShare struct {
+	Agent int     `json:"agent"`
+	Share float64 `json:"share"`
+}
+
+// EncodeOutcome renders an outcome as canonical response bytes: shares
+// sorted by agent id, floats in Go's shortest round-trip decimal form.
+// These exact bytes are what the cache stores and replays.
+func EncodeOutcome(network, mechName string, o mech.Outcome) []byte {
+	resp := EvalResponse{
+		Network:   network,
+		Mech:      mechName,
+		Receivers: o.Receivers,
+		Shares:    make([]AgentShare, 0, len(o.Shares)),
+		Cost:      o.Cost,
+	}
+	if resp.Receivers == nil {
+		resp.Receivers = []int{}
+	}
+	for a, s := range o.Shares {
+		resp.Shares = append(resp.Shares, AgentShare{Agent: a, Share: s})
+	}
+	sort.Slice(resp.Shares, func(i, j int) bool { return resp.Shares[i].Agent < resp.Shares[j].Agent })
+	b, err := json.Marshal(resp)
+	if err != nil {
+		// Outcome fields are plain ints and finite floats; Marshal cannot
+		// fail on them. Treat failure as the programming error it is.
+		panic("serve: encoding outcome: " + err.Error())
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/query"
+)
+
+// TestServeDifferentialAllMechanisms is the serving-layer differential
+// test: for every scenario family and every applicable mechanism, the
+// /v1/evaluate response must be byte-identical (a) between the cold
+// evaluation and the cache hit that follows it, and (b) to the encoding
+// of the cmd/wmcs one-shot path — a fresh Evaluator's Mechanism().Run()
+// on the canonical profile. (a) is the cache contract; (b) pins the
+// serving stack to the exact floats the CLI prints, so a cached answer
+// can never drift from a one-shot answer.
+func TestServeDifferentialAllMechanisms(t *testing.T) {
+	const n = 9
+	type family struct {
+		spec  instances.Spec
+		mechs []string
+	}
+	general := []string{"universal-shapley", "universal-mc", "wireless-bb", "jv-moat"}
+	var families []family
+	for si, sc := range instances.Scenarios() {
+		families = append(families, family{
+			spec:  instances.Spec{Name: "d-" + sc.Name, Scenario: sc.Name, N: n, Alpha: 2, Seed: int64(300 + si)},
+			mechs: general,
+		})
+	}
+	// The Euclidean specials on their applicable classes.
+	families = append(families,
+		family{
+			spec:  instances.Spec{Name: "d-alpha1", Scenario: "uniform", N: n, Alpha: 1, Seed: 41},
+			mechs: []string{"alpha1-shapley", "alpha1-mc"},
+		},
+		family{
+			spec:  instances.Spec{Name: "d-line1", Scenario: "line", N: n, Alpha: 2, Seed: 42},
+			mechs: []string{"line-shapley", "line-mc"},
+		},
+	)
+
+	reg := NewRegistry()
+	for _, f := range families {
+		if err := reg.RegisterSpec(f.spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewServer(reg, Options{})
+	defer s.Close()
+
+	for _, f := range families {
+		entry, _ := reg.Get(f.spec.Name)
+		nw := entry.Net
+		rng := rand.New(rand.NewSource(f.spec.Seed))
+		for _, name := range f.mechs {
+			for trial := 0; trial < 2; trial++ {
+				wire := make([]float64, nw.N())
+				for i := range wire {
+					if i != nw.Source() {
+						wire[i] = rng.Float64() * 50
+					}
+				}
+				req := EvalRequest{Network: f.spec.Name, Mech: name, Profile: wire}
+				label := fmt.Sprintf("%s/%s trial %d", f.spec.Name, name, trial)
+
+				cold := do(t, s, "POST", "/v1/evaluate", req)
+				if cold.Code != http.StatusOK {
+					t.Fatalf("%s: cold status %d: %s", label, cold.Code, cold.Body.String())
+				}
+				warm := do(t, s, "POST", "/v1/evaluate", req)
+				if warm.Header().Get("X-Wmcs-Cache") != "hit" {
+					t.Fatalf("%s: second request was not a hit", label)
+				}
+				if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+					t.Fatalf("%s: cache hit differs from cold evaluation\ncold: %s\nwarm: %s",
+						label, cold.Body.String(), warm.Body.String())
+				}
+
+				// The one-shot path: exactly what cmd/wmcs does — a fresh
+				// evaluator, Mechanism by name, Run on the profile — fed
+				// the canonical (quantized, masked) profile.
+				c, err := Canonicalize(req, nw.N(), nw.Source())
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				m, err := query.NewEvaluator(nw).Mechanism(name)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				oneShot := EncodeOutcome(f.spec.Name, name, m.Run(c.Profile))
+				if !bytes.Equal(cold.Body.Bytes(), oneShot) {
+					t.Fatalf("%s: served response differs from one-shot evaluation\nserved:   %s\none-shot: %s",
+						label, cold.Body.String(), oneShot)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent identical work: while one caller
+// computes the value for a key, later callers with the same key wait for
+// that computation instead of repeating it. This is what turns a
+// thundering herd of identical queries into one engine evaluation — the
+// cache only helps after the first completion; the flight group helps
+// during it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do runs fn once per key among concurrent callers and hands every
+// caller the same result. shared reports whether this caller rode on
+// another's computation (it never ran fn itself).
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

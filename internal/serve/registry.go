@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/query"
+	"wmcs/internal/wireless"
+)
+
+// ErrDuplicateNetwork marks a Register/RegisterSpec failure caused by
+// the name being taken (as opposed to the spec being invalid); the HTTP
+// layer maps it to 409 and everything else to 400.
+var ErrDuplicateNetwork = errors.New("already registered")
+
+// Registry holds the named networks a server hosts, one shared
+// query.Evaluator per network — the evaluator caches the per-network
+// substrates (NWST reduction, universal tree, mechanism instances), so
+// every client of a network amortizes the same construction. Safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	nets  map[string]*NetworkEntry
+	order []string // registration order, for stable listings
+}
+
+// NetworkEntry is one hosted network. Spec is the manifest spec it was
+// built from (zero-valued when the network was registered directly).
+type NetworkEntry struct {
+	Name string
+	Spec instances.Spec
+	Net  *wireless.Network
+	Ev   *query.Evaluator
+	// gen is this registration's unique generation number: cache keys
+	// are prefixed with it, so results computed against this entry can
+	// never be served for a later network registered under the same
+	// name (the evict → re-register race).
+	gen uint64
+}
+
+// registrations hands out generation numbers, unique across every
+// registry in the process.
+var registrations atomic.Uint64
+
+// cachePrefix is the prefix of every cache key derived from this
+// registration. It starts with name+0x1f so eviction by name prefix
+// (networkKeyPrefix) catches every generation of the name.
+func (e *NetworkEntry) cachePrefix() string {
+	return e.Name + "\x1f" + strconv.FormatUint(e.gen, 10) + "\x1f"
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{nets: make(map[string]*NetworkEntry)}
+}
+
+// DefaultSpecs is the demo manifest wmcsd and wmcsload fall back to
+// when no -manifest is given: a small scenario-diverse set, cheap
+// enough that cold wireless-bb queries stay in the tens of
+// milliseconds.
+func DefaultSpecs() []instances.Spec {
+	return []instances.Spec{
+		{Name: "uni12", Scenario: "uniform", N: 12, Alpha: 2, Seed: 1},
+		{Name: "clust12", Scenario: "clustered", N: 12, Alpha: 2, Seed: 2},
+		{Name: "ring10", Scenario: "ring", N: 10, Alpha: 2, Seed: 3},
+		{Name: "line12", Scenario: "line", N: 12, Alpha: 2, Seed: 4},
+	}
+}
+
+// Register hosts a network under a name. Names are unique: registering
+// an existing name is an error (evict first — silent replacement would
+// let stale cache entries describe a different network).
+func (r *Registry) Register(name string, nw *wireless.Network) error {
+	return r.add(&NetworkEntry{Name: name, Net: nw, Ev: query.NewEvaluator(nw)})
+}
+
+// RegisterSpec builds a scenario-registry spec and hosts the result
+// under the spec's name.
+func (r *Registry) RegisterSpec(sp instances.Spec) error {
+	if sp.Name == "" {
+		return fmt.Errorf("serve: spec %v has no name", sp)
+	}
+	nw, err := sp.Build()
+	if err != nil {
+		return err
+	}
+	return r.add(&NetworkEntry{Name: sp.Name, Spec: sp, Net: nw, Ev: query.NewEvaluator(nw)})
+}
+
+func (r *Registry) add(e *NetworkEntry) error {
+	if err := validateName(e.Name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nets[e.Name]; ok {
+		return fmt.Errorf("serve: network %q %w", e.Name, ErrDuplicateNetwork)
+	}
+	e.gen = registrations.Add(1)
+	r.nets[e.Name] = e
+	r.order = append(r.order, e.Name)
+	return nil
+}
+
+// validateName rejects names that would break the machinery around
+// them: control characters collide with the 0x1f cache-key separator
+// (a name "a\x1fb" would be purged by evicting "a"), and '/' can never
+// be addressed by the DELETE /v1/networks/{name} route.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: network name is empty")
+	}
+	for _, c := range name {
+		if c < 0x20 || c == 0x7f || c == '/' {
+			return fmt.Errorf("serve: network name %q contains %q (control characters and '/' are not allowed)", name, c)
+		}
+	}
+	return nil
+}
+
+// Evict removes a network, reporting whether it was present. In-flight
+// queries keep the entry they were admitted with and complete normally
+// (their results land under the evicted generation's cache keys, which
+// no future request can form); the server purges the name's cache
+// entries.
+func (r *Registry) Evict(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nets[name]; !ok {
+		return false
+	}
+	delete(r.nets, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Get looks a network up by name.
+func (r *Registry) Get(name string) (*NetworkEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.nets[name]
+	return e, ok
+}
+
+// Entries lists the hosted networks in registration order.
+func (r *Registry) Entries() []*NetworkEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*NetworkEntry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.nets[name])
+	}
+	return out
+}
+
+// Len returns the number of hosted networks.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nets)
+}
+
+// LoadManifest registers every spec of a startup manifest: a JSON array
+// of scenario-registry specs, e.g.
+//
+//	[{"name": "uni-32", "scenario": "uniform", "n": 32, "alpha": 2, "seed": 7},
+//	 {"name": "line-16", "scenario": "line", "n": 16, "seed": 3}]
+//
+// It returns how many networks it registered; on error the networks
+// registered before the failing spec stay registered (the daemon treats
+// any error as fatal at boot).
+func (r *Registry) LoadManifest(src io.Reader) (int, error) {
+	specs, err := instances.ParseManifest(src)
+	if err != nil {
+		return 0, err
+	}
+	for i, sp := range specs {
+		if err := r.RegisterSpec(sp); err != nil {
+			return i, fmt.Errorf("serve: manifest entry %d (%s): %w", i, sp, err)
+		}
+	}
+	return len(specs), nil
+}

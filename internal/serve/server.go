@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/query"
+)
+
+// Options tune a Server; zero values select the defaults.
+type Options struct {
+	// CacheCapacity is the result cache size in entries (default 4096;
+	// negative disables caching).
+	CacheCapacity int
+	// CacheShards is the shard count (default 16, rounded up to a power
+	// of two).
+	CacheShards int
+	// Workers is the engine-pool width used for evaluation batches
+	// (1 = serial, <= 0 = GOMAXPROCS).
+	Workers int
+	// MaxBatch caps how many queued queries one dispatcher round may
+	// carry (default 64).
+	MaxBatch int
+	// MaxBatchRequest caps the element count of one /v1/batch request
+	// (default 1024).
+	MaxBatchRequest int
+}
+
+// Server is the HTTP face of the query service. Create with NewServer,
+// serve via any http.Server (it implements http.Handler), and Close it
+// when done to stop the admission dispatcher.
+//
+// Endpoints:
+//
+//	GET    /healthz              liveness ("ok")
+//	GET    /statsz               counters + per-mechanism latency quantiles
+//	GET    /v1/networks          hosted networks
+//	POST   /v1/networks          register a scenario spec (instances.Spec JSON)
+//	DELETE /v1/networks/{name}   evict a network (and its cache entries)
+//	POST   /v1/evaluate          one EvalRequest -> EvalResponse
+//	POST   /v1/batch             []EvalRequest  -> []EvalResponse-or-error
+type Server struct {
+	reg    *Registry
+	cache  *Cache
+	stats  *Stats
+	flight flightGroup
+	batch  *batcher
+	mux    *http.ServeMux
+	opts   Options
+}
+
+// NewServer builds a server over a registry. The registry may be shared
+// (e.g. populated concurrently by an operator goroutine); the server
+// only reads it through its own synchronized API.
+func NewServer(reg *Registry, opts Options) *Server {
+	if opts.MaxBatchRequest <= 0 {
+		opts.MaxBatchRequest = 1024
+	}
+	s := &Server{
+		reg:   reg,
+		cache: NewCache(opts.CacheCapacity, opts.CacheShards),
+		stats: NewStats(),
+		opts:  opts,
+	}
+	s.batch = newBatcher(s.cache, s.stats, opts.Workers, opts.MaxBatch)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
+	mux.HandleFunc("POST /v1/networks", s.handleRegisterNetwork)
+	mux.HandleFunc("DELETE /v1/networks/{name}", s.handleEvictNetwork)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the admission dispatcher. In-flight handlers finish with
+// a clean "server shutting down" error; call after http.Server.Shutdown.
+func (s *Server) Close() { s.batch.close() }
+
+// Cache exposes the result cache (counters for tests and callers
+// embedding the server in-process).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Stats exposes the admission counters.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// EvaluateCanon serves one canonical query through the full admission
+// path — cache, singleflight, batch dispatch — and returns the response
+// body bytes plus how they were obtained ("hit", "miss", "coalesced").
+// This is the exact path handleEvaluate takes; it is exported within
+// the package surface so in-process clients (the workload driver, the
+// benchmarks) exercise serving semantics without a socket.
+func (s *Server) EvaluateCanon(c CanonRequest) (body []byte, source string, err error) {
+	entry, ok := s.reg.Get(c.Network)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown network %q", c.Network)
+	}
+	return s.evaluateEntry(entry, c)
+}
+
+// evaluateEntry is EvaluateCanon with the registration already
+// resolved: the cache key (and the singleflight key) carry the entry's
+// generation prefix, and the admitted task is pinned to this exact
+// entry, so concurrent evict/re-register cycles can neither serve nor
+// poison another registration's results.
+func (s *Server) evaluateEntry(entry *NetworkEntry, c CanonRequest) (body []byte, source string, err error) {
+	key := entry.cachePrefix() + c.Key
+	if body, ok := s.cache.Get(key); ok {
+		return body, "hit", nil
+	}
+	body, err, shared := s.flight.Do(key, func() ([]byte, error) {
+		return s.batch.do(entry, c, key)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if shared {
+		s.stats.Coalesced.Add(1)
+		return body, "coalesced", nil
+	}
+	return body, "miss", nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statszPayload is the /statsz document.
+type statszPayload struct {
+	Networks       int                       `json:"networks"`
+	Queries        uint64                    `json:"queries"`
+	Coalesced      uint64                    `json:"coalesced"`
+	Errors         uint64                    `json:"errors"`
+	InFlight       int64                     `json:"in_flight"`
+	Batches        uint64                    `json:"batches"`
+	BatchedQueries uint64                    `json:"batched_queries"`
+	Cache          CacheStats                `json:"cache"`
+	LatencyUS      map[string]LatencySummary `json:"latency_us"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	p := statszPayload{
+		Networks:       s.reg.Len(),
+		Queries:        s.stats.Queries.Load(),
+		Coalesced:      s.stats.Coalesced.Load(),
+		Errors:         s.stats.Errors.Load(),
+		InFlight:       s.stats.InFlight.Load(),
+		Batches:        s.stats.Batches.Load(),
+		BatchedQueries: s.stats.BatchedQueries.Load(),
+		Cache:          s.cache.Stats(),
+		LatencyUS:      s.stats.Latencies(),
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// networkInfo is one row of GET /v1/networks.
+type networkInfo struct {
+	Name      string          `json:"name"`
+	Stations  int             `json:"stations"`
+	Source    int             `json:"source"`
+	Euclidean bool            `json:"euclidean"`
+	Spec      *instances.Spec `json:"spec,omitempty"`
+}
+
+func (s *Server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Entries()
+	out := struct {
+		Networks   []networkInfo `json:"networks"`
+		Mechanisms []string      `json:"mechanisms"`
+	}{Networks: make([]networkInfo, 0, len(entries)), Mechanisms: query.Names()}
+	for _, e := range entries {
+		info := networkInfo{
+			Name:      e.Name,
+			Stations:  e.Net.N(),
+			Source:    e.Net.Source(),
+			Euclidean: e.Net.IsEuclidean(),
+		}
+		if e.Spec.Scenario != "" {
+			sp := e.Spec
+			info.Spec = &sp
+		}
+		out.Networks = append(out.Networks, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRegisterNetwork(w http.ResponseWriter, r *http.Request) {
+	var sp instances.Spec
+	if err := decodeJSON(r, &sp); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.reg.RegisterSpec(sp); err != nil {
+		code := http.StatusBadRequest // invalid spec
+		if errors.Is(err, ErrDuplicateNetwork) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"registered": sp.Name})
+}
+
+func (s *Server) handleEvictNetwork(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Evict(name) {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown network %q", name))
+		return
+	}
+	dropped := s.cache.DeletePrefix(networkKeyPrefix(name))
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "cache_entries_dropped": dropped})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.stats.InFlight.Add(1)
+	defer s.stats.InFlight.Add(-1)
+	var req EvalRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.stats.Errors.Add(1)
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	body, source, code, err := s.evaluateWire(req)
+	if err != nil {
+		s.stats.Errors.Add(1)
+		writeErr(w, code, err.Error())
+		return
+	}
+	s.stats.Observe(req.Mech, time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Wmcs-Cache", source)
+	w.Write(body)
+}
+
+// evaluateWire is the single-query path shared by /v1/evaluate and each
+// /v1/batch element: resolve the network, canonicalize, admit. The
+// returned code is the HTTP status for a non-nil error.
+func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, code int, err error) {
+	entry, ok := s.reg.Get(req.Network)
+	if !ok {
+		return nil, "", http.StatusNotFound, fmt.Errorf("unknown network %q", req.Network)
+	}
+	c, err := Canonicalize(req, entry.Net.N(), entry.Net.Source())
+	if err != nil {
+		return nil, "", http.StatusBadRequest, err
+	}
+	s.stats.Queries.Add(1)
+	body, source, err = s.evaluateEntry(entry, c)
+	if errors.Is(err, errShuttingDown) {
+		// Retryable against another replica or after restart — must not
+		// look like a client error.
+		return nil, "", http.StatusServiceUnavailable, err
+	}
+	if err != nil {
+		// Remaining post-canonicalization failures are network-class
+		// mismatches (e.g. a line mechanism on a 2-d network).
+		return nil, "", http.StatusUnprocessableEntity, err
+	}
+	return body, source, 0, nil
+}
+
+// batchElem is one /v1/batch result: the canonical response bytes of
+// the element, or its error.
+type batchElem struct {
+	body []byte
+	err  error
+}
+
+func (e batchElem) MarshalJSON() ([]byte, error) {
+	if e.err != nil {
+		return json.Marshal(map[string]string{"error": e.err.Error()})
+	}
+	return e.body, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.InFlight.Add(1)
+	defer s.stats.InFlight.Add(-1)
+	var reqs []EvalRequest
+	if err := decodeJSON(r, &reqs); err != nil {
+		s.stats.Errors.Add(1)
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(reqs) > s.opts.MaxBatchRequest {
+		s.stats.Errors.Add(1)
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), s.opts.MaxBatchRequest))
+		return
+	}
+	// Fan the elements out concurrently: distinct queries pile into the
+	// admission queue together (one engine batch), identical ones
+	// coalesce in the flight group, hits return immediately. Each
+	// element times itself so the per-mechanism quantiles reflect
+	// per-query service latency, not the whole batch's wall clock.
+	elems := make([]batchElem, len(reqs))
+	done := make(chan int, len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			start := time.Now()
+			body, _, _, err := s.evaluateWire(reqs[i])
+			elems[i] = batchElem{body: body, err: err}
+			if err != nil {
+				s.stats.Errors.Add(1)
+			} else {
+				s.stats.Observe(reqs[i].Mech, time.Since(start))
+			}
+			done <- i
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	writeJSON(w, http.StatusOK, elems)
+}
+
+// maxBodyBytes bounds request bodies (a 100k-station profile is ~2MB;
+// 16MB leaves headroom without inviting abuse).
+const maxBodyBytes = 16 << 20
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

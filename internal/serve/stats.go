@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats carries the service's expvar-style counters: monotonically
+// increasing atomics sampled (never reset) by /statsz. Cache hit/miss
+// counts live in the Cache itself; these cover admission and execution.
+type Stats struct {
+	// Queries counts /v1/evaluate requests admitted (batch elements
+	// included); Coalesced the subset served by riding on a concurrent
+	// identical computation; Errors the requests rejected or failed.
+	Queries   atomic.Uint64
+	Coalesced atomic.Uint64
+	Errors    atomic.Uint64
+	// InFlight is the gauge of requests currently inside a handler.
+	InFlight atomic.Int64
+	// Batches counts dispatcher rounds; BatchedQueries the tasks they
+	// carried (BatchedQueries/Batches is the realized batching factor).
+	Batches        atomic.Uint64
+	BatchedQueries atomic.Uint64
+
+	mu  sync.Mutex
+	lat map[string]*latHist
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats { return &Stats{lat: make(map[string]*latHist)} }
+
+// Observe records one request's service latency under its mechanism
+// name (admission to response, cache hits included).
+func (s *Stats) Observe(mechName string, d time.Duration) {
+	s.mu.Lock()
+	h, ok := s.lat[mechName]
+	if !ok {
+		h = &latHist{}
+		s.lat[mechName] = h
+	}
+	s.mu.Unlock()
+	h.observe(d)
+}
+
+// LatencySummary is the /statsz digest of one mechanism's service
+// latency: count, mean, and log-bucket quantile bounds, in microseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+}
+
+// Latencies snapshots every mechanism's summary, keyed by name.
+func (s *Stats) Latencies() map[string]LatencySummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]LatencySummary, len(s.lat))
+	for name, h := range s.lat {
+		out[name] = h.summary()
+	}
+	return out
+}
+
+// MechNames returns the mechanisms observed so far, sorted.
+func (s *Stats) MechNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.lat))
+	for n := range s.lat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// latBuckets is the histogram resolution: bucket i holds latencies in
+// [2^(i-1), 2^i) nanoseconds, so 48 buckets span 1ns to ~39h.
+const latBuckets = 48
+
+// latHist is a lock-free log2 histogram; quantiles are read as the
+// upper bound of the bucket where the target rank lands, which is
+// within 2× of the true value — plenty for a load report.
+type latHist struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [latBuckets]atomic.Uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	ns := uint64(max(d.Nanoseconds(), 0))
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	i := 0
+	for v := ns; v > 0 && i < latBuckets-1; v >>= 1 {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+func (h *latHist) summary() LatencySummary {
+	var counts [latBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	ls := LatencySummary{Count: h.count.Load()}
+	if total == 0 {
+		return ls
+	}
+	ls.MeanUS = float64(h.sumNS.Load()) / float64(total) / 1e3
+	quantile := func(q float64) float64 {
+		rank := uint64(q * float64(total))
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum > rank {
+				return float64(uint64(1)<<uint(i)) / 1e3 // bucket upper bound, µs
+			}
+		}
+		return float64(uint64(1)<<uint(latBuckets-1)) / 1e3
+	}
+	ls.P50US = quantile(0.50)
+	ls.P90US = quantile(0.90)
+	ls.P99US = quantile(0.99)
+	return ls
+}

@@ -25,10 +25,12 @@ import (
 	"wmcs/internal/euclid1"
 	"wmcs/internal/geom"
 	"wmcs/internal/graph"
+	"wmcs/internal/instances"
 	"wmcs/internal/jv"
 	"wmcs/internal/mech"
 	"wmcs/internal/nwst"
 	"wmcs/internal/query"
+	"wmcs/internal/serve"
 	"wmcs/internal/universal"
 	"wmcs/internal/wireless"
 	"wmcs/internal/wmech"
@@ -153,6 +155,35 @@ func MechanismNames() []string { return query.Names() }
 func ByName(name string, nw *Network) (Mechanism, error) {
 	return query.NewEvaluator(nw).Mechanism(name)
 }
+
+// Spec names one network drawn from the scenario registry (family,
+// size, gradient, seed); it is the unit of manifest-driven construction
+// for the serving layer. Building the same Spec always yields the same
+// network.
+type Spec = instances.Spec
+
+// Registry hosts named networks for serving, one shared Evaluator per
+// network. Populate it with RegisterSpec/Register (or LoadManifest) and
+// hand it to NewServer; see internal/serve and DESIGN.md §8.
+type Registry = serve.Registry
+
+// Server is the HTTP face of the query service: /v1/networks,
+// /v1/evaluate, /v1/batch, /healthz and /statsz over a registry, with
+// canonicalized result caching, singleflight coalescing and admission
+// batching. It implements http.Handler; Close it when done.
+type Server = serve.Server
+
+// ServeOptions tune a Server (cache capacity and sharding, engine-pool
+// width, admission batch size); the zero value selects the defaults.
+type ServeOptions = serve.Options
+
+// NewRegistry returns an empty serving registry.
+func NewRegistry() *Registry { return serve.NewRegistry() }
+
+// NewServer builds the query service over a registry. Serve it with any
+// http.Server (it is an http.Handler); cmd/wmcsd is the packaged
+// daemon, cmd/wmcsload the workload driver against it.
+func NewServer(reg *Registry, opts ServeOptions) *Server { return serve.NewServer(reg, opts) }
 
 // OptimalCost returns C*(R) from the best exact solver available for the
 // network class (closed forms for α = 1 and d = 1, subset-Dijkstra

@@ -3,6 +3,8 @@ package wmcs
 import (
 	"math"
 	"math/rand"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -121,5 +123,40 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	k := float64(len(o.Receivers))
 	if o.TotalShares() > 2*(1+2*math.Log(k))*opt+1e-7 {
 		t.Errorf("shares %g far above bound (opt %g)", o.TotalShares(), opt)
+	}
+}
+
+// Serving smoke via only the public API: register a spec, serve one
+// query over HTTP, and watch the repeat hit the cache byte-identically.
+func TestPublicServingSurface(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.RegisterSpec(Spec{Name: "pub", Scenario: "uniform", N: 8, Alpha: 2, Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(reg, ServeOptions{})
+	defer s.Close()
+	entry, ok := reg.Get("pub")
+	if !ok {
+		t.Fatal("registered network missing")
+	}
+	body := `{"network":"pub","mech":"universal-shapley","profile":[0,5,5,5,5,5,5,5]}`
+	post := func() (*httptest.ResponseRecorder, string) {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body)))
+		return w, w.Header().Get("X-Wmcs-Cache")
+	}
+	cold, src1 := post()
+	warm, src2 := post()
+	if cold.Code != 200 || warm.Code != 200 {
+		t.Fatalf("status %d/%d: %s", cold.Code, warm.Code, cold.Body.String())
+	}
+	if src1 != "miss" || src2 != "hit" {
+		t.Fatalf("cache sources %q/%q, want miss/hit", src1, src2)
+	}
+	if cold.Body.String() != warm.Body.String() {
+		t.Fatal("cache hit not byte-identical to cold response")
+	}
+	if entry.Ev == nil || entry.Net.N() != 8 {
+		t.Fatalf("registry entry malformed: %+v", entry)
 	}
 }
