@@ -79,6 +79,18 @@ func main() {
 	if *parallel < 1 {
 		*parallel = 1
 	}
+	// Reject out-of-domain tuning flags instead of letting the workload
+	// layer silently substitute defaults — the report prints the
+	// requested values, so a clamp would mislabel the run's figures.
+	if *zipfS <= 1 {
+		cliutil.Die("-zipf must be > 1 (got %g)", *zipfS)
+	}
+	if *hot < 1 {
+		cliutil.Die("-hot must be >= 1 (got %d)", *hot)
+	}
+	if *umax <= 0 {
+		cliutil.Die("-umax must be > 0 (got %g)", *umax)
+	}
 	wl, err := instances.WorkloadByName(*workload)
 	if err != nil {
 		cliutil.Die("%v", err)
@@ -196,15 +208,20 @@ func connectOrBoot(addr string, specs []instances.Spec) (string, func(), error) 
 }
 
 // ensureNetworks registers any spec the daemon does not already host;
-// conflicts (someone else registered it first) are fine.
+// conflicts (someone else registered it first) are fine. A name the
+// daemon hosts under a *different* spec is an error: the driver
+// canonicalizes against client-side Spec.Build replicas, so a spec
+// mismatch would surface as inexplicable 400s or false byte-mismatch
+// failures against a perfectly healthy server.
 func ensureNetworks(baseURL string, specs []instances.Spec) error {
-	resp, err := http.Get(baseURL + "/v1/networks")
+	resp, err := httpClient.Get(baseURL + "/v1/networks")
 	if err != nil {
 		return fmt.Errorf("listing networks: %w", err)
 	}
 	var list struct {
 		Networks []struct {
-			Name string `json:"name"`
+			Name string          `json:"name"`
+			Spec *instances.Spec `json:"spec"`
 		} `json:"networks"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&list)
@@ -212,16 +229,23 @@ func ensureNetworks(baseURL string, specs []instances.Spec) error {
 	if err != nil {
 		return fmt.Errorf("listing networks: %w", err)
 	}
-	have := map[string]bool{}
+	have := map[string]*instances.Spec{}
 	for _, n := range list.Networks {
-		have[n.Name] = true
+		sp := n.Spec
+		if sp == nil {
+			sp = &instances.Spec{} // hosted, but not built from a spec
+		}
+		have[n.Name] = sp
 	}
 	for _, sp := range specs {
-		if have[sp.Name] {
+		if hosted, ok := have[sp.Name]; ok {
+			if *hosted != sp {
+				return fmt.Errorf("network %q is already hosted with a different spec (server: %+v, driver: %+v) — the driver's client-side replica would disagree with the server; evict it or rename the driver spec", sp.Name, *hosted, sp)
+			}
 			continue
 		}
 		b, _ := json.Marshal(sp)
-		resp, err := http.Post(baseURL+"/v1/networks", "application/json", bytes.NewReader(b))
+		resp, err := httpClient.Post(baseURL+"/v1/networks", "application/json", bytes.NewReader(b))
 		if err != nil {
 			return fmt.Errorf("registering %s: %w", sp.Name, err)
 		}
@@ -246,9 +270,15 @@ type statszDoc struct {
 	} `json:"cache"`
 }
 
+// httpClient is the driver's shared client for the control-plane calls
+// (listing, registration, statsz). The timeout turns a wedged daemon
+// into a reported error rather than an indefinite hang (CI runs this
+// with no step-level timeout).
+var httpClient = &http.Client{Timeout: 30 * time.Second}
+
 func fetchStatsz(baseURL string) (statszDoc, error) {
 	var doc statszDoc
-	resp, err := http.Get(baseURL + "/statsz")
+	resp, err := httpClient.Get(baseURL + "/statsz")
 	if err != nil {
 		return doc, err
 	}
@@ -297,9 +327,15 @@ func runLoad(cfg loadConfig) loadResult {
 		res.perMech[m] = &mechStats{}
 	}
 	var (
-		mu     sync.Mutex
-		seen   = map[string][]byte{}
-		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.parallel}}
+		mu   sync.Mutex
+		seen = map[string][]byte{}
+		// Generous per-request timeout: cold wireless-bb evaluations take
+		// tens of milliseconds, so a minute means the daemon is wedged —
+		// count it as an error instead of hanging the run (and CI) forever.
+		client = &http.Client{
+			Timeout:   time.Minute,
+			Transport: &http.Transport{MaxIdleConnsPerHost: cfg.parallel},
+		}
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -376,7 +412,6 @@ func runLoad(cfg loadConfig) loadResult {
 							}
 						} else {
 							seen[key] = respBody
-							res.distinct = len(seen)
 						}
 					}
 				}

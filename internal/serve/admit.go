@@ -1,11 +1,17 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"wmcs/internal/query"
 )
+
+// errInternal marks server-side faults — recovered evaluation panics,
+// unencodable outcomes — as distinct from request errors, so the HTTP
+// layer can answer 500 instead of blaming the client with a 4xx.
+var errInternal = errors.New("internal error")
 
 // batcher is the admission layer between HTTP handlers and the engine
 // pool. Handlers submit one canonical query each; a single dispatcher
@@ -146,20 +152,53 @@ func (b *batcher) run(batch []*admitTask) {
 		byEntry[t.entry] = append(byEntry[t.entry], t)
 	}
 	for _, entry := range order {
-		group := byEntry[entry]
-		reqs := make([]query.Request, len(group))
-		for i, t := range group {
-			reqs[i] = query.Request{Mech: t.canon.Mech, Profile: t.canon.Profile}
-		}
-		resps := entry.Ev.EvaluateBatch(reqs, b.workers)
-		for i, t := range group {
-			if resps[i].Err != nil {
-				t.reply <- taskResult{err: resps[i].Err}
-				continue
+		b.runGroup(entry, byEntry[entry])
+	}
+}
+
+// runGroup evaluates one network's share of a dispatch round. It runs
+// on the dispatcher goroutine, where net/http's per-handler recover
+// cannot reach — an uncaught panic here kills the whole daemon — so any
+// panic out of evaluation or encoding is converted into an error reply
+// for every task still waiting.
+func (b *batcher) runGroup(entry *NetworkEntry, group []*admitTask) {
+	replied := 0
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("evaluating %s: %w: %v", entry.Name, errInternal, r)
+			for _, t := range group[replied:] {
+				t.reply <- taskResult{err: err}
 			}
-			body := EncodeOutcome(entry.Name, t.canon.Mech, resps[i].Outcome)
-			b.cache.Put(t.key, body)
-			t.reply <- taskResult{body: body}
 		}
+	}()
+	reqs := make([]query.Request, len(group))
+	for i, t := range group {
+		reqs[i] = query.Request{Mech: t.canon.Mech, Profile: t.canon.Profile}
+	}
+	resps := entry.Ev.EvaluateBatch(reqs, b.workers)
+	for i, t := range group {
+		var res taskResult
+		if resps[i].Err != nil {
+			res.err = resps[i].Err
+		} else if body, err := EncodeOutcome(entry.Name, t.canon.Mech, resps[i].Outcome); err != nil {
+			res.err = fmt.Errorf("%w: %v", errInternal, err)
+		} else {
+			b.cache.Put(t.key, body)
+			if entry.evicted.Load() {
+				// The entry left the registry while we were evaluating.
+				// Our Put may have landed after the evict handler's
+				// DeletePrefix, which would strand an entry no future
+				// request can reach (the generation is retired) in LRU
+				// capacity forever. Deleting our own key closes the
+				// race: if we instead observed evicted == false, the
+				// flag was set after our Put and the handler's
+				// DeletePrefix — which runs after the flag store — is
+				// guaranteed to sweep it.
+				b.cache.Delete(t.key)
+			}
+			res.body = body
+		}
+		replied++
+		t.reply <- res
 	}
 }

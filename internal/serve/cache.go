@@ -120,6 +120,22 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 }
 
+// Delete drops one key, reporting whether it was present. The batcher
+// uses it to un-cache a result it stored for an entry that was evicted
+// mid-evaluation (see runGroup).
+func (c *Cache) Delete(key string) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	s.ll.Remove(el)
+	delete(s.entries, key)
+	return true
+}
+
 // DeletePrefix drops every entry whose key starts with prefix — how
 // network eviction invalidates that network's results (keys start with
 // the network name, see buildKey).

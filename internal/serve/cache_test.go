@@ -46,6 +46,27 @@ func TestCacheDeletePrefix(t *testing.T) {
 	}
 }
 
+func TestCacheDelete(t *testing.T) {
+	c := NewCache(64, 4)
+	c.Put("k1", []byte("v1"))
+	c.Put("k2", []byte("v2"))
+	if !c.Delete("k1") {
+		t.Fatal("Delete(k1) reported absent")
+	}
+	if c.Delete("k1") {
+		t.Fatal("second Delete(k1) reported present")
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived Delete")
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("Delete(k1) took k2 with it")
+	}
+	if st := c.Stats(); st.Len != 1 {
+		t.Fatalf("len %d after delete, want 1", st.Len)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(-1, 8)
 	c.Put("k", []byte("v"))

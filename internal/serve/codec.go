@@ -77,7 +77,10 @@ var mechNames = func() map[string]bool {
 // cache-key contract, DESIGN.md §8):
 //
 //  1. the mechanism name must be a registry name;
-//  2. len(Profile) must equal n, every entry finite and >= 0;
+//  2. len(Profile) must equal n, every entry finite, >= 0, and small
+//     enough that quantization stays finite (v/Quantum overflows
+//     float64 near 1.8e302 — such a utility has no grid point, so the
+//     request is rejected rather than canonicalized to +Inf);
 //  3. R entries must lie in [0, n); R is sorted and deduplicated, then
 //     folded into the profile: utilities outside R (and at the source)
 //     become 0 — mechanisms only ever see the masked profile, so (R, u)
@@ -103,6 +106,9 @@ func Canonicalize(req EvalRequest, n, source int) (CanonRequest, error) {
 		}
 		if v < 0 {
 			return CanonRequest{}, fmt.Errorf("utility %d is negative (%g)", i, v)
+		}
+		if math.IsInf(quantize(v), 0) {
+			return CanonRequest{}, fmt.Errorf("utility %d (%g) overflows the quantization grid", i, v)
 		}
 	}
 	u := make(mech.Profile, n)
@@ -183,8 +189,11 @@ type AgentShare struct {
 
 // EncodeOutcome renders an outcome as canonical response bytes: shares
 // sorted by agent id, floats in Go's shortest round-trip decimal form.
-// These exact bytes are what the cache stores and replays.
-func EncodeOutcome(network, mechName string, o mech.Outcome) []byte {
+// These exact bytes are what the cache stores and replays. An outcome
+// json.Marshal cannot represent (a NaN or Inf share out of a mechanism)
+// is an error, not a panic: the caller runs on the admission
+// dispatcher, where a panic would take down the whole daemon.
+func EncodeOutcome(network, mechName string, o mech.Outcome) ([]byte, error) {
 	resp := EvalResponse{
 		Network:   network,
 		Mech:      mechName,
@@ -201,9 +210,7 @@ func EncodeOutcome(network, mechName string, o mech.Outcome) []byte {
 	sort.Slice(resp.Shares, func(i, j int) bool { return resp.Shares[i].Agent < resp.Shares[j].Agent })
 	b, err := json.Marshal(resp)
 	if err != nil {
-		// Outcome fields are plain ints and finite floats; Marshal cannot
-		// fail on them. Treat failure as the programming error it is.
-		panic("serve: encoding outcome: " + err.Error())
+		return nil, fmt.Errorf("encoding %s outcome: %w", mechName, err)
 	}
-	return b
+	return b, nil
 }

@@ -74,6 +74,11 @@ func TestCanonicalizeRejects(t *testing.T) {
 		{"nan utility", EvalRequest{Mech: "jv-moat", Profile: []float64{0, nan()}}},
 		{"nan outside R", EvalRequest{Mech: "jv-moat", R: []int{0}, Profile: []float64{1, nan()}}},
 		{"negative outside R", EvalRequest{Mech: "jv-moat", R: []int{0}, Profile: []float64{1, -2}}},
+		// v/Quantum overflows float64 near 1.8e302: a finite wire
+		// utility with no grid point must be rejected, not
+		// canonicalized to +Inf (REVIEW: NaN shares downstream).
+		{"grid overflow", EvalRequest{Mech: "jv-moat", Profile: []float64{0, 1e303}}},
+		{"grid overflow outside R", EvalRequest{Mech: "jv-moat", R: []int{0}, Profile: []float64{1, 1e303}}},
 	}
 	for _, c := range cases {
 		if _, err := Canonicalize(c.req, 2, 0); err == nil {
@@ -90,9 +95,17 @@ func TestEncodeOutcomeDeterministic(t *testing.T) {
 		Shares:    map[int]float64{4: 2.5, 1: 1.25, 3: 0.125},
 		Cost:      3.875,
 	}
-	a := string(EncodeOutcome("net", "jv-moat", o))
+	ab, err := EncodeOutcome("net", "jv-moat", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := string(ab)
 	for i := 0; i < 50; i++ {
-		if b := string(EncodeOutcome("net", "jv-moat", o)); b != a {
+		bb, err := EncodeOutcome("net", "jv-moat", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := string(bb); b != a {
 			t.Fatalf("encoding varied across calls:\n%s\n%s", a, b)
 		}
 	}
@@ -100,8 +113,16 @@ func TestEncodeOutcomeDeterministic(t *testing.T) {
 		t.Fatalf("shares not sorted by agent: %s", a)
 	}
 	// Empty outcomes encode arrays, not nulls.
-	e := string(EncodeOutcome("net", "jv-moat", mech.Outcome{}))
-	if strings.Contains(e, "null") {
+	eb, err := EncodeOutcome("net", "jv-moat", mech.Outcome{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := string(eb); strings.Contains(e, "null") {
 		t.Fatalf("empty outcome encoded null: %s", e)
+	}
+	// An unrepresentable outcome is an error, never a panic: the caller
+	// is the admission dispatcher, which must survive it.
+	if _, err := EncodeOutcome("net", "jv-moat", mech.Outcome{Shares: map[int]float64{0: nan()}}); err == nil {
+		t.Fatal("NaN share encoded without error")
 	}
 }

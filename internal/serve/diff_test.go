@@ -93,7 +93,10 @@ func TestServeDifferentialAllMechanisms(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
-				oneShot := EncodeOutcome(f.spec.Name, name, m.Run(c.Profile))
+				oneShot, err := EncodeOutcome(f.spec.Name, name, m.Run(c.Profile))
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
 				if !bytes.Equal(cold.Body.Bytes(), oneShot) {
 					t.Fatalf("%s: served response differs from one-shot evaluation\nserved:   %s\none-shot: %s",
 						label, cold.Body.String(), oneShot)

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // flightGroup coalesces concurrent identical work: while one caller
 // computes the value for a key, later callers with the same key wait for
@@ -37,11 +40,27 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// Clear the key and release the waiters even if fn panics (handler
+	// goroutines are recovered by net/http, so the process survives a
+	// panicking flight — but waiters parked on wg.Wait and every future
+	// caller of the key must not be stranded on the dead call). The
+	// panic itself propagates past this frame untouched.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errFlightPanicked
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
 	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	c.wg.Done()
+	completed = true
 	return c.val, c.err, false
 }
+
+// errFlightPanicked is what waiters coalesced onto a panicking
+// computation receive: their leader died before producing a result, and
+// a nil-body success would be indistinguishable from a real answer.
+var errFlightPanicked = errors.New("coalesced computation panicked")

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestFlightGroupPanicReleasesKey: a panicking computation must not
+// strand its key — before the fix, the flightCall's WaitGroup was never
+// Done and the map entry never deleted, so every later caller of the
+// same key blocked forever.
+func TestFlightGroupPanicReleasesKey(t *testing.T) {
+	var g flightGroup
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of Do")
+			}
+		}()
+		g.Do("k", func() ([]byte, error) { panic("boom") })
+	}()
+	// The key must be free again: this Do must run fn (not wait on the
+	// dead flight) and return its result.
+	val, err, shared := g.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || shared || !bytes.Equal(val, []byte("ok")) {
+		t.Fatalf("Do after panic: val=%q err=%v shared=%v", val, err, shared)
+	}
+}
+
+// TestFlightGroupPanicFailsWaiters: a caller coalesced onto a flight
+// whose leader panics must receive an error, never a nil-body success.
+func TestFlightGroupPanicFailsWaiters(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }() // the leader's own panic
+		g.Do("k", func() ([]byte, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	waited := make(chan struct{})
+	var val []byte
+	var err error
+	var shared bool
+	go func() {
+		defer wg.Done()
+		<-started
+		close(waited)
+		val, err, shared = g.Do("k", func() ([]byte, error) { return []byte("fresh"), nil })
+	}()
+	<-waited
+	close(release)
+	wg.Wait()
+	if shared {
+		// The waiter rode the panicking flight: it must see the error.
+		if !errors.Is(err, errFlightPanicked) {
+			t.Fatalf("coalesced waiter: val=%q err=%v, want errFlightPanicked", val, err)
+		}
+	} else if err != nil || !bytes.Equal(val, []byte("fresh")) {
+		// The waiter missed the flight window and ran its own fn.
+		t.Fatalf("independent waiter: val=%q err=%v", val, err)
+	}
+}

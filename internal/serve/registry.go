@@ -41,6 +41,11 @@ type NetworkEntry struct {
 	// never be served for a later network registered under the same
 	// name (the evict → re-register race).
 	gen uint64
+	// evicted flips (before the evict handler purges the name's cache
+	// prefix) when the entry leaves its registry. The batcher re-checks
+	// it after caching a result so a task that was admitted before the
+	// evict cannot strand an unreachable entry in LRU capacity.
+	evicted atomic.Bool
 }
 
 // registrations hands out generation numbers, unique across every
@@ -131,9 +136,11 @@ func validateName(name string) error {
 func (r *Registry) Evict(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.nets[name]; !ok {
+	e, ok := r.nets[name]
+	if !ok {
 		return false
 	}
+	e.evicted.Store(true)
 	delete(r.nets, name)
 	for i, n := range r.order {
 		if n == name {

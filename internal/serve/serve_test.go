@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -424,5 +425,78 @@ func TestOutcomeSanity(t *testing.T) {
 	}
 	if err := mech.CheckAll(c.Profile, o); err != nil {
 		t.Fatalf("served outcome violates axioms: %v", err)
+	}
+}
+
+// TestOverflowUtilityIs400: a finite wire utility whose quantization
+// overflows float64 (v/Quantum > MaxFloat64, i.e. v >= ~1.8e302) must
+// be rejected at validation — before the fix it canonicalized to +Inf,
+// the mechanism produced NaN shares, and encoding panicked on the
+// dispatcher goroutine, killing the daemon.
+func TestOverflowUtilityIs400(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	p := profileFor(10, 0, 5)
+	p[3] = 1e303
+	w := do(t, s, "POST", "/v1/evaluate", EvalRequest{Network: "uni", Mech: "universal-mc", Profile: p})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("overflowing utility: %d %s, want 400", w.Code, w.Body.String())
+	}
+	// The daemon is still alive and serving.
+	ok := do(t, s, "POST", "/v1/evaluate", EvalRequest{Network: "uni", Mech: "universal-mc", Profile: profileFor(10, 0, 5)})
+	if ok.Code != http.StatusOK {
+		t.Fatalf("follow-up query: %d %s", ok.Code, ok.Body.String())
+	}
+}
+
+// TestBatcherSurvivesEvaluationPanic injects a panic into a dispatch
+// round (a nil evaluator dereferences on the dispatcher goroutine,
+// where net/http's recover cannot reach) and checks the task gets an
+// error reply and the dispatcher keeps serving later tasks.
+func TestBatcherSurvivesEvaluationPanic(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	bad := &NetworkEntry{Name: "bad"} // nil Ev: EvaluateBatch panics
+	c, err := Canonicalize(EvalRequest{Network: "bad", Mech: "universal-mc", Profile: profileFor(10, 0, 9)}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.batch.do(bad, c, bad.cachePrefix()+c.Key); !errors.Is(err, errInternal) {
+		t.Fatalf("panicking evaluation: err=%v, want errInternal (mapped to 500, not 422)", err)
+	}
+	// The dispatcher survived: a well-formed query still answers.
+	w := do(t, s, "POST", "/v1/evaluate", EvalRequest{Network: "uni", Mech: "universal-mc", Profile: profileFor(10, 0, 9)})
+	if w.Code != http.StatusOK {
+		t.Fatalf("query after panic: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestEvictMidFlightLeavesNoDeadCacheEntry: a task admitted before its
+// network's eviction completes after the handler's DeletePrefix; its
+// Put lands under a retired generation no request can ever form, so it
+// must not stay resident (it would occupy LRU capacity forever).
+func TestEvictMidFlightLeavesNoDeadCacheEntry(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	entry, ok := s.reg.Get("uni")
+	if !ok {
+		t.Fatal("uni not registered")
+	}
+	c, err := Canonicalize(EvalRequest{Network: "uni", Mech: "universal-mc", Profile: profileFor(10, 0, 13)}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict first (handler order: Evict, then DeletePrefix), then run
+	// the already-admitted task — the worst-case interleaving, where the
+	// Put happens strictly after the purge.
+	s.reg.Evict("uni")
+	s.cache.DeletePrefix(networkKeyPrefix("uni"))
+	key := entry.cachePrefix() + c.Key
+	body, err := s.batch.do(entry, c, key)
+	if err != nil || len(body) == 0 {
+		t.Fatalf("in-flight task after evict: body=%q err=%v", body, err)
+	}
+	if _, ok := s.cache.Get(key); ok {
+		t.Fatal("dead entry resident under retired generation")
+	}
+	if st := s.cache.Stats(); st.Len != 0 {
+		t.Fatalf("cache holds %d entries after evict, want 0", st.Len)
 	}
 }

@@ -262,6 +262,11 @@ func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, code
 		// look like a client error.
 		return nil, "", http.StatusServiceUnavailable, err
 	}
+	if errors.Is(err, errInternal) {
+		// Server-side faults (recovered evaluation panics, unencodable
+		// outcomes) are ours, not the caller's.
+		return nil, "", http.StatusInternalServerError, err
+	}
 	if err != nil {
 		// Remaining post-canonicalization failures are network-class
 		// mismatches (e.g. a line mechanism on a 2-d network).
