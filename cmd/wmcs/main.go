@@ -16,10 +16,12 @@
 //	wmcs -mech wireless-bb -batch 32 -parallel 8     # batched profile sweep
 //	wmcs -suite -quick -parallel 4                   # the E1–E13/A1–A4 tables
 //	wmcs -suite -json > tables.jsonl                 # one JSON table per line
-//	wmcs -list
+//	wmcs -list                                       # registry: mechanisms (domain, guarantees) + scenarios
+//	wmcs -list -json                                 # machine-readable name lists
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,12 +32,13 @@ import (
 	"wmcs/internal/cliutil"
 	"wmcs/internal/experiments"
 	"wmcs/internal/instances"
+	"wmcs/internal/mechreg"
 	"wmcs/internal/stats"
 )
 
 func main() {
 	var (
-		mechName = flag.String("mech", "universal-shapley", "mechanism name (see -list)")
+		mechName = flag.String("mech", mechreg.Default(), "mechanism name (see -list)")
 		model    = flag.String("model", "euclid", "instance model: euclid | any scenario from -list")
 		n        = flag.Int("n", 10, "number of stations (station 0 is the source for euclid/symmetric)")
 		d        = flag.Int("d", 2, "Euclidean dimension (euclid model only)")
@@ -51,10 +54,27 @@ func main() {
 	)
 	cliutil.Parse()
 	if *list {
-		fmt.Println("mechanisms:")
-		for _, name := range wmcs.MechanismNames() {
-			fmt.Printf("  %s\n", name)
+		// The listing is registry-driven: names, domains and guarantees
+		// all come from the mechanism descriptor registry, so this
+		// output (and the -json form CI diffs against /v1/mechanisms)
+		// can never drift from what the evaluator accepts.
+		if *jsonOut {
+			out := struct {
+				Mechanisms []string `json:"mechanisms"`
+				Scenarios  []string `json:"scenarios"`
+			}{wmcs.MechanismNames(), instances.ScenarioNames()}
+			if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
 		}
+		fmt.Println("mechanisms:")
+		for _, d := range mechreg.All() {
+			fmt.Printf("  %-18s %-28s %s, %s  [%s]\n",
+				d.Name, d.Domain, d.Guarantees.BBLabel(), d.Guarantees.SPLabel(), d.PaperRef)
+		}
+		fmt.Println("  (*) declared strategyproofness gap — see EXPERIMENTS.md")
 		fmt.Println("scenarios (-model):")
 		for _, s := range instances.Scenarios() {
 			fmt.Printf("  %-10s %s\n", s.Name, s.Desc)

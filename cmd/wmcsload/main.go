@@ -9,6 +9,19 @@
 // same canonical key, so a cache hit that differs from its cold
 // evaluation fails the run (exit 1).
 //
+// Mechanism pinning and the re-pin rule: a query is pinned to
+// -mechs[h mod len(-mechs)], where h hashes the query's identity. When
+// the pinned mechanism's declared domain does not admit the round-robin
+// target network (e.g. line-shapley pinned onto a 2-d disk network),
+// the query is re-pinned deterministically *within the supported
+// subset* of -mechs for that network — same hash, reduced modulo the
+// subset in -mechs order — instead of burning a request on a
+// guaranteed 422. The subset comes from the mechanism registry's
+// per-network domain predicate (exactly what the daemon's /v1/networks
+// advertises), and the rule uses nothing but (hash, -mechs, network
+// class), so runs stay byte-reproducible at every -parallel. A network
+// supporting none of -mechs fails the run up front (exit 2).
+//
 // Usage:
 //
 //	wmcsload                         # in-process, hotset mix, demo networks
@@ -38,7 +51,7 @@ import (
 	"wmcs/internal/cliutil"
 	"wmcs/internal/engine"
 	"wmcs/internal/instances"
-	"wmcs/internal/query"
+	"wmcs/internal/mechreg"
 	"wmcs/internal/serve"
 	"wmcs/internal/stats"
 	"wmcs/internal/wireless"
@@ -49,8 +62,8 @@ func main() {
 		addr     = flag.String("addr", "", "daemon address (host:port or URL); empty = boot an in-process server")
 		manifest = flag.String("manifest", "", "JSON array of scenario specs to drive (default: the wmcsd demo set)")
 		workload = flag.String("workload", "hotset", "workload mix: uniform | hotset | mixed")
-		mechsCSV = flag.String("mechs", "universal-shapley,universal-mc,wireless-bb,jv-moat",
-			"comma-separated mechanism names to spread queries over")
+		mechsCSV = flag.String("mechs", strings.Join(mechreg.GeneralNames(), ","),
+			"comma-separated mechanism names to spread queries over (default: every general-domain mechanism)")
 		queries  = flag.Int("queries", 4000, "total queries to issue")
 		parallel = flag.Int("parallel", 8, "concurrent client workers")
 		hot      = flag.Int("hot", 32, "hot-set pool size per network (hotset/mixed workloads)")
@@ -100,7 +113,7 @@ func main() {
 		cliutil.Die("-mechs is empty")
 	}
 	for _, m := range mechs {
-		cliutil.OneOf("-mechs", m, query.Names())
+		cliutil.OneOf("-mechs", m, mechreg.Names())
 	}
 
 	specs := serve.DefaultSpecs()
@@ -138,6 +151,24 @@ func main() {
 		}
 	}
 
+	// The re-pin domain: per driven network, the supported subset of
+	// -mechs in -mechs order (the modulus of the re-pin rule). Derived
+	// from the registry's domain predicates on the client replicas,
+	// which agree with the server's /v1/networks advertisement because
+	// both read the same registry.
+	mechsFor := make([][]string, len(nets))
+	for j, nw := range nets {
+		for _, m := range mechs {
+			if mechreg.Supports(m, nw) == nil {
+				mechsFor[j] = append(mechsFor[j], m)
+			}
+		}
+		if len(mechsFor[j]) == 0 {
+			cliutil.Die("network %q supports none of -mechs %v (supported there: %v)",
+				specs[j].Name, mechs, mechreg.SupportedNames(nw))
+		}
+	}
+
 	before, err := fetchStatsz(baseURL)
 	if err != nil {
 		cliutil.Die("statsz before run: %v", err)
@@ -149,6 +180,7 @@ func main() {
 		nets:     nets,
 		workload: wl,
 		mechs:    mechs,
+		mechsFor: mechsFor,
 		queries:  *queries,
 		parallel: *parallel,
 		seed:     *seed,
@@ -292,11 +324,29 @@ type loadConfig struct {
 	nets     []*wireless.Network
 	workload instances.Workload
 	mechs    []string
+	// mechsFor[j] is the supported subset of mechs on network j, in
+	// mechs order — the re-pin rule's domain (never empty; main dies).
+	mechsFor [][]string
 	queries  int
 	parallel int
 	seed     int64
 	verify   bool
 	opts     instances.WorkloadOptions
+}
+
+// pinMech resolves a query's mechanism on network j: the hash pins into
+// the full -mechs list; if that mechanism's domain does not admit the
+// network, the same hash is reduced modulo the network's supported
+// subset instead. Deterministic in (hash, -mechs, network class) only,
+// so runs are byte-reproducible at every -parallel.
+func (cfg loadConfig) pinMech(j, hash int) (name string, repinned bool) {
+	name = cfg.mechs[hash%len(cfg.mechs)]
+	for _, m := range cfg.mechsFor[j] {
+		if m == name {
+			return name, false
+		}
+	}
+	return cfg.mechsFor[j][hash%len(cfg.mechsFor[j])], true
 }
 
 type mechStats struct {
@@ -313,6 +363,7 @@ type loadResult struct {
 	mismatches int
 	distinct   int
 	compared   int
+	repinned   int
 }
 
 // runLoad fans the query stream over parallel client workers. Worker w
@@ -352,7 +403,12 @@ func runLoad(cfg loadConfig) loadResult {
 			for q := w; q < cfg.queries; q += cfg.parallel {
 				j := q % len(cfg.nets)
 				query := samplers[j].Next()
-				mechName := cfg.mechs[mechFor(query)%len(cfg.mechs)]
+				mechName, repinned := cfg.pinMech(j, mechFor(query))
+				if repinned {
+					mu.Lock()
+					res.repinned++
+					mu.Unlock()
+				}
 				req := serve.EvalRequest{
 					Network: cfg.specs[j].Name,
 					Mech:    mechName,
@@ -495,6 +551,9 @@ func report(run loadResult, before, after statszDoc, jsonOut bool, meta reportMe
 		dQueries, dHits, 100*hitRate, dCoalesced, dBatched, dBatches, batchFactor)
 	tab.Note("verification: %d distinct queries, %d repeat responses compared, %d byte mismatches",
 		run.distinct, run.compared, run.mismatches)
+	if run.repinned > 0 {
+		tab.Note("re-pinned %d queries whose hash-pinned mechanism the target network does not support", run.repinned)
+	}
 	if run.firstError != "" {
 		tab.Note("first error: %s", run.firstError)
 	}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mechreg"
+)
+
+// TestPinMechRePinsDeterministically pins the documented re-pin rule:
+// the hash selects from the full -mechs list; when the pinned mechanism
+// is unsupported on the target network, the SAME hash is reduced modulo
+// the network's supported subset (in -mechs order), so the assignment
+// depends only on (hash, -mechs, network class) — never on worker
+// interleaving — and always lands on a supported mechanism.
+func TestPinMechRePinsDeterministically(t *testing.T) {
+	specs := []instances.Spec{
+		{Name: "uni", Scenario: "uniform", N: 9, Alpha: 2, Seed: 1}, // no line mechanisms
+		{Name: "line", Scenario: "line", N: 9, Alpha: 2, Seed: 2},   // line mechanisms OK
+	}
+	mechs := []string{"line-shapley", "universal-shapley", "wireless-bb"}
+	cfg := loadConfig{mechs: mechs, mechsFor: make([][]string, len(specs))}
+	for j, sp := range specs {
+		nw, err := sp.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mechs {
+			if mechreg.Supports(m, nw) == nil {
+				cfg.mechsFor[j] = append(cfg.mechsFor[j], m)
+			}
+		}
+	}
+	if len(cfg.mechsFor[0]) != 2 || len(cfg.mechsFor[1]) != 3 {
+		t.Fatalf("supported subsets: %v", cfg.mechsFor)
+	}
+	repins := 0
+	for hash := 0; hash < 3000; hash++ {
+		for j := range specs {
+			name, repinned := cfg.pinMech(j, hash)
+			again, againPinned := cfg.pinMech(j, hash)
+			if name != again || repinned != againPinned {
+				t.Fatalf("pinMech not deterministic at (%d, %d)", j, hash)
+			}
+			ok := false
+			for _, m := range cfg.mechsFor[j] {
+				if m == name {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("hash %d network %d pinned unsupported %s", hash, j, name)
+			}
+			if repinned {
+				if j != 0 {
+					t.Fatalf("re-pin on the line network (supports all of -mechs)")
+				}
+				repins++
+			}
+		}
+	}
+	if repins == 0 {
+		t.Fatal("no hash ever pinned line-shapley onto the uniform network — the re-pin path is untested")
+	}
+	// The rule in closed form: hash→mechs[h%3]; unsupported → subset[h%2].
+	if name, repinned := cfg.pinMech(0, 0); name != "universal-shapley" || !repinned {
+		t.Fatalf("hash 0 on uni: got (%s, %v)", name, repinned)
+	}
+	if name, repinned := cfg.pinMech(1, 0); name != "line-shapley" || repinned {
+		t.Fatalf("hash 0 on line: got (%s, %v)", name, repinned)
+	}
+}

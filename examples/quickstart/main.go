@@ -31,11 +31,11 @@ func main() {
 	// to bear to receive the stream.
 	u := wmcs.Profile{0, 8, 8, 15, 15, 3, 30, 12, 25}
 
-	o, err := ev.Evaluate("universal-shapley", nil, u)
+	o, err := ev.Evaluate(wmcs.MechUniversalShapley, nil, u)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("mechanism: universal-shapley\n")
+	fmt.Printf("mechanism: %s\n", wmcs.MechUniversalShapley)
 	fmt.Printf("receivers: %v\n", o.Receivers)
 	for _, a := range o.Receivers {
 		fmt.Printf("  station %d: utility %.2f, pays %.3f, welfare %.3f\n",
@@ -54,9 +54,9 @@ func main() {
 	// reuses every cached substrate; responses come back in request
 	// order and are byte-identical at any worker count.
 	reqs := []wmcs.Request{
-		{Mech: "universal-shapley", R: []int{1, 2, 7}, Profile: u},
-		{Mech: "wireless-bb", Profile: u},
-		{Mech: "jv-moat", Profile: u},
+		{Mech: wmcs.MechUniversalShapley, R: []int{1, 2, 7}, Profile: u},
+		{Mech: wmcs.MechWirelessBB, Profile: u},
+		{Mech: wmcs.MechJVMoat, Profile: u},
 	}
 	fmt.Println("\nbatched what-ifs on the same evaluator:")
 	for i, r := range ev.EvaluateBatch(reqs, 0) {

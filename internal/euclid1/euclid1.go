@@ -87,7 +87,7 @@ func (g *AirportGame) Shapley(R []int) map[int]float64 {
 // α = 1 (Theorem 3.2).
 func (g *AirportGame) ShapleyMechanism() mech.Mechanism {
 	return &sharing.MechanismFromMethod{
-		MechName: "alpha1-shapley",
+		MechName: "airport-shapley", // package-internal default; mechreg assigns the public name
 		AgentSet: g.Net.AllReceivers(),
 		Xi:       sharing.MethodFunc(func(R []int) map[int]float64 { return g.Shapley(R) }),
 		Cost:     g.Cost,
@@ -101,7 +101,7 @@ func (g *AirportGame) MCMechanism() mech.Mechanism { return &airportMC{g: g} }
 
 type airportMC struct{ g *AirportGame }
 
-func (m *airportMC) Name() string  { return "alpha1-mc" }
+func (m *airportMC) Name() string  { return "airport-mc" } // package-internal default
 func (m *airportMC) Agents() []int { return m.g.Net.AllReceivers() }
 
 // netWorthPrefix returns the maximum net worth and the largest efficient
@@ -384,7 +384,7 @@ func maxInt(a, b int) int {
 // (Moulin–Shenker over the exact interval-game Shapley value).
 func (g *LineGame) ShapleyMechanism() mech.Mechanism {
 	return &sharing.MechanismFromMethod{
-		MechName: "line-shapley",
+		MechName: "interval-shapley", // package-internal default; mechreg assigns the public name
 		AgentSet: g.Net.AllReceivers(),
 		Xi:       sharing.MethodFunc(func(R []int) map[int]float64 { return g.Shapley(R) }),
 		Cost:     g.Cost,
@@ -398,7 +398,7 @@ func (g *LineGame) MCMechanism() mech.Mechanism { return &lineMC{g: g} }
 
 type lineMC struct{ g *LineGame }
 
-func (m *lineMC) Name() string  { return "line-mc" }
+func (m *lineMC) Name() string  { return "interval-mc" } // package-internal default
 func (m *lineMC) Agents() []int { return m.g.Net.AllReceivers() }
 
 func (m *lineMC) bestInterval(u mech.Profile) ([]int, float64) {

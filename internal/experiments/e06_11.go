@@ -10,6 +10,7 @@ import (
 	"wmcs/internal/instances"
 	"wmcs/internal/jv"
 	"wmcs/internal/mech"
+	"wmcs/internal/mechreg"
 	"wmcs/internal/nwst"
 	"wmcs/internal/query"
 	"wmcs/internal/sharing"
@@ -51,7 +52,7 @@ func E06WirelessBB(cfg Config) *stats.Table {
 		// random-profile probe and every SP deviation below share the
 		// reduction and contraction-state pool.
 		ev := query.NewEvaluator(nw, query.WithOracle(nwst.KleinRaviOracle))
-		m, _ := ev.Mechanism("wireless-bb")
+		m, _ := ev.Mechanism(mechreg.WirelessBB)
 		rich := mech.UniformProfile(n, 1e8)
 		o := m.Run(rich)
 		if len(o.Receivers) > 0 {

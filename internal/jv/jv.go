@@ -179,8 +179,10 @@ func NewMechanism(nw *wireless.Network, w Weights) *Mechanism {
 	return &Mechanism{Net: nw, weights: w}
 }
 
-// Name implements mech.Mechanism.
-func (m *Mechanism) Name() string { return "jv-moat" }
+// Name implements mech.Mechanism with the package-internal default;
+// the descriptor registry (internal/mechreg) assigns the public jv-moat
+// name to registry-built instances.
+func (m *Mechanism) Name() string { return "moat" }
 
 // Agents implements mech.Mechanism.
 func (m *Mechanism) Agents() []int { return m.Net.AllReceivers() }

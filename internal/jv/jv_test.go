@@ -129,7 +129,7 @@ func TestMechanismAxiomsAndGSP(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	nw := instances.RandomEuclidean(rng, 7, 2, 2, 10)
 	m := NewMechanism(nw, nil)
-	if m.Name() != "jv-moat" || len(m.Agents()) != 6 {
+	if m.Name() != "moat" || len(m.Agents()) != 6 { // package-internal default; mechreg assigns the public name
 		t.Fatal("metadata wrong")
 	}
 	for trial := 0; trial < 8; trial++ {

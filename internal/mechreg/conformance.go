@@ -1,0 +1,185 @@
+package mechreg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wmcs/internal/mech"
+	"wmcs/internal/wireless"
+)
+
+// This file is the conformance harness: it turns a Descriptor's declared
+// Guarantees into executable checks, so the registry's theorem table is
+// a table *test* — every registered mechanism is run on every compatible
+// scenario (mechreg tests) and verified against exactly what it
+// declares: the per-outcome axioms, β-budget-balance with the declared β
+// against the declared reference, and sampled (G)SP at the declared
+// strength. A descriptor that over-claims (wrong β, GSP for an
+// SP-only mechanism, cost recovery for a deficit mechanism) fails here —
+// TestMisdeclaredDescriptorsFail pins that the harness cannot pass
+// vacuously.
+
+// ConformanceOptions tune a conformance run; zero values select the
+// defaults in brackets.
+type ConformanceOptions struct {
+	// Profiles is the number of random utility profiles probed [3].
+	Profiles int
+	// UMax scales the random utilities [50].
+	UMax float64
+	// Coalitions is the number of sampled coalitions per profile for
+	// GSP-declared mechanisms [8].
+	Coalitions int
+	// Seed derives every random draw; equal seeds replay identically.
+	Seed int64
+	// HighBid is the consumer-sovereignty probe utility [1e6].
+	HighBid float64
+	// Factors are the multiplicative misreports the (G)SP samplers
+	// probe; nil selects mech.DefaultDeviationFactors.
+	Factors []float64
+	// OptimalCost computes C*(R) for the β-BB check; nil selects
+	// wireless.OptimalMulticastCost. Set SkipBeta to skip the β check
+	// entirely (e.g. networks too large for exact optima).
+	OptimalCost func(nw *wireless.Network, R []int) float64
+	// SkipBeta disables the β-BB-against-optimum check.
+	SkipBeta bool
+}
+
+func (o ConformanceOptions) withDefaults() ConformanceOptions {
+	if o.Profiles <= 0 {
+		o.Profiles = 3
+	}
+	if o.UMax <= 0 {
+		o.UMax = 50
+	}
+	if o.Coalitions <= 0 {
+		o.Coalitions = 8
+	}
+	if o.HighBid <= 0 {
+		o.HighBid = 1e6
+	}
+	if o.OptimalCost == nil {
+		o.OptimalCost = wireless.OptimalMulticastCost
+	}
+	return o
+}
+
+// ConformanceReport summarizes a passing run.
+type ConformanceReport struct {
+	// Profiles is how many utility profiles were probed.
+	Profiles int
+	// BetaChecked counts outcomes verified against the declared β.
+	BetaChecked int
+	// KnownGapHits records sampled strategyproofness violations that
+	// were tolerated because the descriptor declares the gap (SPGap);
+	// an empty slice means the sampled checks were violation-free.
+	KnownGapHits []string
+}
+
+// CheckOutcome verifies the declared per-outcome axioms of g: NPT and VP
+// when declared, and cost recovery when any budget-balance guarantee is
+// declared (the marginal-cost mechanisms declare none — they may run a
+// deficit by design, which must not read as a violation).
+func (g Guarantees) CheckOutcome(u mech.Profile, o mech.Outcome) error {
+	if g.NPT {
+		if err := mech.CheckNPT(o); err != nil {
+			return err
+		}
+	}
+	if g.VP {
+		if err := mech.CheckVP(u, o); err != nil {
+			return err
+		}
+	}
+	if g.BB != BBNone {
+		if err := mech.CheckCostRecovery(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConformance builds d's mechanism on nw and verifies every
+// guarantee the descriptor declares, by exact check where the guarantee
+// is exact (axioms, budget balance) and by adversarial deviation
+// sampling where it is game-theoretic (SP, GSP, CS). It returns the
+// first violation found; a nil error means every declared check passed
+// (with sampled violations under a declared SPGap reported, not fatal).
+func CheckConformance(d Descriptor, nw *wireless.Network, opts ConformanceOptions) (ConformanceReport, error) {
+	var rep ConformanceReport
+	opts = opts.withDefaults()
+	// build enforces the declared domain: a network outside it returns
+	// the ErrUnsupportedDomain the caller's auto-skip branches on.
+	m, err := d.build(NewBuildContext(nw))
+	if err != nil {
+		return rep, err
+	}
+	g := d.Guarantees
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for trial := 0; trial < opts.Profiles; trial++ {
+		u := mech.RandomProfile(rng, nw.N(), opts.UMax)
+		u[nw.Source()] = 0
+		o := m.Run(u)
+		if err := g.CheckOutcome(u, o); err != nil {
+			return rep, fmt.Errorf("%s trial %d: %w", d.Name, trial, err)
+		}
+		if err := checkBudgetBalance(g, nw, o, opts, &rep); err != nil {
+			return rep, fmt.Errorf("%s trial %d: %w", d.Name, trial, err)
+		}
+		if g.CS {
+			if err := mech.CheckCS(m, u, opts.HighBid); err != nil {
+				return rep, fmt.Errorf("%s trial %d: %w", d.Name, trial, err)
+			}
+		}
+		if err := mech.CheckStrategyproof(m, u, opts.Factors); err != nil {
+			if g.SPGap == "" {
+				return rep, fmt.Errorf("%s trial %d: %w", d.Name, trial, err)
+			}
+			rep.KnownGapHits = append(rep.KnownGapHits,
+				fmt.Sprintf("trial %d: SP (known gap %s): %v", trial, g.SPGap, err))
+		}
+		if g.Strategyproofness == GSP {
+			if err := mech.CheckGroupStrategyproof(m, u, rng, opts.Coalitions, opts.Factors); err != nil {
+				if g.SPGap == "" {
+					return rep, fmt.Errorf("%s trial %d: %w", d.Name, trial, err)
+				}
+				rep.KnownGapHits = append(rep.KnownGapHits,
+					fmt.Sprintf("trial %d: GSP (known gap %s): %v", trial, g.SPGap, err))
+			}
+		}
+		rep.Profiles++
+	}
+	return rep, nil
+}
+
+// checkBudgetBalance verifies the declared budget-balance statement for
+// one outcome: exact balance against the built solution's cost
+// (BBSolution), or cost recovery plus Σ shares ≤ β·C*(R) against the
+// exact optimum (BBOptimum, skipped when the descriptor declares no
+// factor for this network class — β ≤ 0 — or the caller disabled it).
+func checkBudgetBalance(g Guarantees, nw *wireless.Network, o mech.Outcome, opts ConformanceOptions, rep *ConformanceReport) error {
+	switch g.BB {
+	case BBSolution:
+		tot := o.TotalShares()
+		if diff := math.Abs(tot - o.Cost); diff > mech.Eps*(1+math.Abs(o.Cost)) {
+			return fmt.Errorf("declared exact budget balance violated: shares %g vs cost %g", tot, o.Cost)
+		}
+	case BBOptimum:
+		if opts.SkipBeta || g.Beta == nil || len(o.Receivers) == 0 {
+			return nil
+		}
+		beta := g.Beta(nw, len(o.Receivers))
+		if beta <= 0 {
+			return nil // no factor declared for this network class
+		}
+		opt := opts.OptimalCost(nw, o.Receivers)
+		if opt <= 1e-12 {
+			return nil
+		}
+		if err := mech.CheckBetaBB(o, opt, beta); err != nil {
+			return err
+		}
+		rep.BetaChecked++
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package mechreg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mech"
+	"wmcs/internal/wireless"
+)
+
+// TestConformanceSweep is the registry-driven conformance suite: every
+// descriptor runs on every compatible registry scenario (the α = 2
+// sweep, plus α = 1 instances so the Theorem 3.2 α = 1 mechanisms are
+// covered) and is verified against exactly what it declares — axioms,
+// β-BB with the declared β, sampled SP/GSP at the declared strength.
+// The declared theorems are a table test: a descriptor whose guarantee
+// does not hold on some compatible scenario fails here.
+func TestConformanceSweep(t *testing.T) {
+	const n = 8
+	type netCase struct {
+		label string
+		alpha float64
+	}
+	// One network per (scenario, α): the α = 2 grid covers the general
+	// mechanisms on every topology family; α = 1 on the uniform and
+	// line families covers the Euclidean specials ("line" is both d = 1
+	// and, at α = 1, in the airport domain).
+	var combos []struct {
+		d     Descriptor
+		scen  string
+		alpha float64
+		nw    *wireless.Network
+	}
+	type labeledNet struct {
+		label string
+		nw    *wireless.Network
+	}
+	var nets []labeledNet
+	addNet := func(scen string, alpha float64, seed int64) {
+		sp := instances.Spec{Name: scen, Scenario: scen, N: n, Alpha: alpha, Seed: seed}
+		nw, err := sp.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, labeledNet{fmt.Sprintf("%s-a%g", scen, alpha), nw})
+	}
+	for si, sc := range instances.Scenarios() {
+		addNet(sc.Name, 2, int64(500+si))
+	}
+	addNet("uniform", 1, 600)
+	addNet("line", 1, 601)
+
+	for _, ln := range nets {
+		for _, d := range All() {
+			if d.Supports != nil && d.Supports(ln.nw) != nil {
+				continue // auto-skip: outside the declared domain
+			}
+			combos = append(combos, struct {
+				d     Descriptor
+				scen  string
+				alpha float64
+				nw    *wireless.Network
+			}{d: d, scen: ln.label, nw: ln.nw})
+		}
+	}
+	// Coverage is decided by the grid itself, before any check runs: a
+	// descriptor no scenario admits would make the suite vacuous for it.
+	byName := map[string]int{}
+	for _, c := range combos {
+		byName[c.d.Name]++
+	}
+	for _, d := range All() {
+		if byName[d.Name] == 0 {
+			t.Fatalf("%s is admitted by no scenario network — the conformance sweep would pass vacuously", d.Name)
+		}
+	}
+	for ci, c := range combos {
+		c, ci := c, ci
+		t.Run(c.d.Name+"/"+c.scen, func(t *testing.T) {
+			t.Parallel()
+			rep, err := CheckConformance(c.d, c.nw, ConformanceOptions{
+				Profiles:   2,
+				Coalitions: 6,
+				Seed:       int64(900 + ci),
+				// A reduced deviation set keeps the sweep fast on the
+				// expensive NWST mechanism; shading, zeroing and large
+				// exaggeration are the deviations that have ever found
+				// violations (F3 is an over-report).
+				Factors: []float64{0, 0.5, 1.5, 10},
+			})
+			if err != nil {
+				t.Fatalf("declared guarantees of %s do not hold on %s: %v", c.d.Name, c.scen, err)
+			}
+			if rep.Profiles == 0 {
+				t.Fatal("no profiles checked")
+			}
+			for _, hit := range rep.KnownGapHits {
+				t.Logf("%s on %s: tolerated known gap: %s", c.d.Name, c.scen, hit)
+			}
+		})
+	}
+}
+
+// --- mis-declaration fixtures -----------------------------------------
+
+// thresholdMech is a deliberately SP-but-not-GSP mechanism: agent i is
+// served at price p_i, where p_i is 10 unless some OTHER agent reports
+// at least 15, in which case p_i drops to 1. An agent's own report never
+// moves its own price, so unilateral deviations only toggle service at a
+// fixed price (exactly SP); but a coalition can have one member
+// over-report past 15 (keeping its own welfare intact) to crash a
+// partner's price from 10 to 1 — a clean GSP violation.
+type thresholdMech struct{ n, source int }
+
+func (m thresholdMech) Name() string { return "threshold-discount" }
+func (m thresholdMech) Agents() []int {
+	ids := make([]int, 0, m.n-1)
+	for i := 0; i < m.n; i++ {
+		if i != m.source {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+func (m thresholdMech) Run(u mech.Profile) mech.Outcome {
+	o := mech.Outcome{Shares: map[int]float64{}}
+	for _, i := range m.Agents() {
+		price := 10.0
+		for _, j := range m.Agents() {
+			if j != i && u[j] >= 15 {
+				price = 1
+				break
+			}
+		}
+		if u[i] >= price {
+			o.Receivers = append(o.Receivers, i)
+			o.Shares[i] = price
+			o.Cost += price
+		}
+	}
+	sort.Ints(o.Receivers)
+	return o
+}
+
+// fixtureDescriptor wraps a hand-built mechanism in a descriptor with
+// arbitrary claimed guarantees.
+func fixtureDescriptor(name string, g Guarantees, build func(ctx *BuildContext) (mech.Mechanism, error)) Descriptor {
+	return Descriptor{
+		Name: name, Family: "test", Domain: "any", PaperRef: "none", Desc: "fixture",
+		Guarantees: g, Build: build,
+	}
+}
+
+// TestMisdeclaredDescriptorsFail pins that the conformance harness is
+// not vacuous: descriptors that over-claim — a β below what the
+// mechanism actually collects, exact budget balance for a deficit
+// mechanism, GSP for a mechanism that is only SP — must fail.
+func TestMisdeclaredDescriptorsFail(t *testing.T) {
+	nw, err := (instances.Spec{Name: "x", Scenario: "uniform", N: 9, Alpha: 2, Seed: 77}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rich profiles so somebody is always served (an empty receiver set
+	// would skip the budget checks and let a wrong β slip through).
+	opts := ConformanceOptions{Profiles: 2, Coalitions: 40, Seed: 4, UMax: 1e5}
+
+	t.Run("wrong beta", func(t *testing.T) {
+		d, err := ByName(WirelessBB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Guarantees.Beta = func(*wireless.Network, int) float64 { return 0.5 }
+		if _, err := CheckConformance(d, nw, opts); err == nil {
+			t.Fatal("β = 0.5 declared for wireless-bb passed — the β check is vacuous")
+		} else if !strings.Contains(err.Error(), "BB violated") {
+			t.Fatalf("wrong failure: %v", err)
+		}
+	})
+
+	t.Run("false cost recovery", func(t *testing.T) {
+		d, err := ByName(UniversalMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The MC mechanism runs a deficit by design; claiming exact
+		// budget balance against its own solution must fail.
+		d.Guarantees.BB = BBSolution
+		d.Guarantees.BetaLabel = "1"
+		if _, err := CheckConformance(d, nw, opts); err == nil {
+			t.Fatal("exact budget balance declared for universal-mc passed — the BB check is vacuous")
+		}
+	})
+
+	t.Run("claims GSP but is only SP", func(t *testing.T) {
+		build := func(ctx *BuildContext) (mech.Mechanism, error) {
+			return thresholdMech{n: ctx.Net.N(), source: ctx.Net.Source()}, nil
+		}
+		honest := fixtureDescriptor("threshold-discount", Guarantees{
+			Strategyproofness: SP, NPT: true, VP: true, CS: true, Efficient: true,
+		}, build)
+		// UMax just under the price-crash threshold: truthful runs keep
+		// every price at 10, so a coalition's over-reporter can crash a
+		// partner's price — the violation the GSP sampler must find.
+		gspOpts := ConformanceOptions{Profiles: 4, Coalitions: 600, Seed: 11, UMax: 14}
+		if _, err := CheckConformance(honest, nw, gspOpts); err != nil {
+			t.Fatalf("SP-declared threshold mechanism failed its honest declaration: %v", err)
+		}
+		lying := honest
+		lying.Guarantees.Strategyproofness = GSP
+		if _, err := CheckConformance(lying, nw, gspOpts); err == nil {
+			t.Fatal("GSP declared for an SP-only mechanism passed — the GSP sampler is vacuous")
+		} else if !strings.Contains(err.Error(), "GSP violated") {
+			t.Fatalf("wrong failure: %v", err)
+		}
+	})
+
+	t.Run("undeclared SP gap fails, declared gap is tolerated", func(t *testing.T) {
+		// reportProportional charges a share proportional to the report:
+		// shading the report is always profitable, so SP must fail loudly
+		// — unless the descriptor declares the gap, which downgrades the
+		// violation to a report entry.
+		build := func(ctx *BuildContext) (mech.Mechanism, error) {
+			return proportionalMech{n: ctx.Net.N(), source: ctx.Net.Source()}, nil
+		}
+		d := fixtureDescriptor("report-proportional", Guarantees{
+			Strategyproofness: SP, NPT: true, Efficient: true,
+		}, build)
+		if _, err := CheckConformance(d, nw, opts); err == nil {
+			t.Fatal("report-proportional passed an SP declaration")
+		}
+		d.Guarantees.SPGap = "test-gap"
+		rep, err := CheckConformance(d, nw, opts)
+		if err != nil {
+			t.Fatalf("declared gap still failed: %v", err)
+		}
+		if len(rep.KnownGapHits) == 0 {
+			t.Fatal("declared gap produced no report entries")
+		}
+	})
+}
+
+// proportionalMech serves everyone with a positive report and charges
+// 10% of the report — blatantly not strategyproof (shade to pay less).
+type proportionalMech struct{ n, source int }
+
+func (m proportionalMech) Name() string  { return "report-proportional" }
+func (m proportionalMech) Agents() []int { return thresholdMech{n: m.n, source: m.source}.Agents() }
+
+func (m proportionalMech) Run(u mech.Profile) mech.Outcome {
+	o := mech.Outcome{Shares: map[int]float64{}}
+	for _, i := range m.Agents() {
+		if u[i] > 0 {
+			o.Receivers = append(o.Receivers, i)
+			o.Shares[i] = u[i] / 10
+			o.Cost += u[i] / 10
+		}
+	}
+	sort.Ints(o.Receivers)
+	return o
+}
+
+// TestConformanceRejectsUnsupportedNetwork: the harness refuses to "pass"
+// a mechanism on a network outside its domain.
+func TestConformanceRejectsUnsupportedNetwork(t *testing.T) {
+	nw, err := (instances.Spec{Name: "x", Scenario: "uniform", N: 8, Alpha: 2, Seed: 3}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ByName(LineShapley)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckConformance(d, nw, ConformanceOptions{Profiles: 1, Seed: 1}); !errors.Is(err, ErrUnsupportedDomain) {
+		t.Fatalf("line mechanism on a planar network: %v, want ErrUnsupportedDomain", err)
+	}
+}

@@ -1,0 +1,178 @@
+package mechreg
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mech"
+	"wmcs/internal/nwst"
+)
+
+// TestRegistryInvariants pins the structural contract every layer leans
+// on: unique non-empty names, complete metadata, and an order that
+// starts with the default mechanism.
+func TestRegistryInvariants(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range All() {
+		if d.Name == "" || d.Family == "" || d.Domain == "" || d.PaperRef == "" || d.Desc == "" {
+			t.Errorf("descriptor %+v has empty metadata", d.Name)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Build == nil {
+			t.Errorf("%s has no Build", d.Name)
+		}
+		g := d.Guarantees
+		if g.BB != BBNone && g.BetaLabel == "" {
+			t.Errorf("%s declares budget balance without a BetaLabel", d.Name)
+		}
+		if g.BB == BBOptimum && g.Beta == nil {
+			t.Errorf("%s declares BBOptimum without a Beta function", d.Name)
+		}
+		if g.BB == BBNone && !g.Efficient {
+			t.Errorf("%s declares neither budget balance nor efficiency", d.Name)
+		}
+	}
+	if len(Names()) != len(All()) {
+		t.Fatal("Names/All length mismatch")
+	}
+	if Default() != Names()[0] {
+		t.Fatal("Default is not the first registry name")
+	}
+	if _, err := ByName("bogus"); !errors.Is(err, ErrUnknownMechanism) {
+		t.Fatalf("ByName(bogus) = %v, want ErrUnknownMechanism", err)
+	}
+}
+
+// TestBuildPinsRegistryName: mechanisms built through the registry must
+// answer with the registry name, whatever the package-internal default
+// is (the packages no longer own the public names).
+func TestBuildPinsRegistryName(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nets := map[string]func() *BuildContext{
+		"general": func() *BuildContext { return NewBuildContext(instances.RandomEuclidean(rng, 8, 2, 2, 10)) },
+		"alpha1":  func() *BuildContext { return NewBuildContext(instances.RandomEuclidean(rng, 8, 2, 1, 10)) },
+		"line":    func() *BuildContext { return NewBuildContext(instances.RandomLine(rng, 8, 2, 10)) },
+	}
+	for _, d := range All() {
+		built := false
+		for _, mk := range nets {
+			ctx := mk()
+			if d.Supports != nil && d.Supports(ctx.Net) != nil {
+				continue
+			}
+			m, err := Build(d.Name, ctx)
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+			if m.Name() != d.Name {
+				t.Errorf("%s: built mechanism reports name %q", d.Name, m.Name())
+			}
+			if len(m.Agents()) == 0 {
+				t.Errorf("%s: no agents", d.Name)
+			}
+			built = true
+		}
+		if !built {
+			t.Errorf("%s: no test network admits it", d.Name)
+		}
+	}
+}
+
+// TestSupportsTypedErrors: domain mismatches must be ErrUnsupportedDomain
+// (the serving layer maps them to 422), unknown names ErrUnknownMechanism
+// (400), and the two must not overlap.
+func TestSupportsTypedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	planar := instances.RandomEuclidean(rng, 8, 2, 2, 10) // d=2, α=2
+	for _, name := range []string{Alpha1Shapley, Alpha1MC, LineShapley, LineMC} {
+		err := Supports(name, planar)
+		if !errors.Is(err, ErrUnsupportedDomain) {
+			t.Errorf("Supports(%s, planar α=2) = %v, want ErrUnsupportedDomain", name, err)
+		}
+		if errors.Is(err, ErrUnknownMechanism) {
+			t.Errorf("Supports(%s) conflates the two error kinds", name)
+		}
+		if _, err := Build(name, NewBuildContext(planar)); !errors.Is(err, ErrUnsupportedDomain) {
+			t.Errorf("Build(%s, planar α=2) = %v, want ErrUnsupportedDomain", name, err)
+		}
+	}
+	if err := Supports("bogus", planar); !errors.Is(err, ErrUnknownMechanism) {
+		t.Errorf("Supports(bogus) = %v, want ErrUnknownMechanism", err)
+	}
+	line := instances.RandomLine(rng, 8, 1, 10) // d=1 AND α=1
+	for _, name := range Names() {
+		if err := Supports(name, line); err != nil {
+			t.Errorf("Supports(%s, line α=1) = %v, want nil (d=1, α=1 admits everything)", name, err)
+		}
+	}
+}
+
+// TestSupportedNames: the per-network supported set is exactly the
+// descriptors whose Supports accepts, in registry order.
+func TestSupportedNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	planar := instances.RandomEuclidean(rng, 8, 2, 2, 10)
+	got := SupportedNames(planar)
+	want := []string{UniversalShapley, UniversalMC, WirelessBB, JVMoat}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("SupportedNames(planar α=2) = %v, want %v", got, want)
+	}
+	sym := instances.RandomSymmetric(rng, 8, 0.5, 10)
+	if g := SupportedNames(sym); strings.Join(g, ",") != strings.Join(want, ",") {
+		t.Fatalf("SupportedNames(symmetric) = %v, want %v", g, want)
+	}
+	if g := GeneralNames(); strings.Join(g, ",") != strings.Join(want, ",") {
+		t.Fatalf("GeneralNames() = %v, want %v", g, want)
+	}
+	line := instances.RandomLine(rng, 8, 1, 10)
+	if g := SupportedNames(line); len(g) != len(All()) {
+		t.Fatalf("SupportedNames(line α=1) = %v, want all %d", g, len(All()))
+	}
+}
+
+// TestBuildContextSharesSubstrate: one context hands every build the
+// same reduction and universal tree, and honors the oracle selection.
+func TestBuildContextSharesSubstrate(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ctx := NewBuildContext(instances.RandomEuclidean(rng, 8, 2, 2, 10))
+	ctx.Oracle = nwst.KleinRaviOracle
+	if ctx.Reduction() != ctx.Reduction() || ctx.SPT() != ctx.SPT() {
+		t.Fatal("substrates rebuilt on second access")
+	}
+	a, err := Build(WirelessBB, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(UniversalShapley, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mech.UniformProfile(8, 30)
+	if a.Run(u).Cost <= 0 || b.Run(u).Cost <= 0 {
+		t.Fatal("shared-substrate mechanisms produced empty solutions on a rich profile")
+	}
+}
+
+// TestMarkdownTable: the generated docs table carries one row per
+// descriptor with its name and paper anchor (README embeds this output;
+// TestREADMEMechanismTableInSync at the repo root pins the embedding).
+func TestMarkdownTable(t *testing.T) {
+	tab := MarkdownTable()
+	for _, d := range All() {
+		if !strings.Contains(tab, "`"+d.Name+"`") {
+			t.Errorf("table misses %s", d.Name)
+		}
+		if !strings.Contains(tab, d.PaperRef) {
+			t.Errorf("table misses paper ref %s", d.PaperRef)
+		}
+	}
+	if rows := strings.Count(tab, "\n"); rows != len(All())+2 {
+		t.Errorf("table has %d lines, want %d", rows, len(All())+2)
+	}
+}

@@ -8,6 +8,12 @@
 // those constructions at most once and serves an arbitrary number of
 // Evaluate/EvaluateBatch queries against them.
 //
+// Which mechanisms exist, what networks they admit and how they are
+// built comes from the descriptor registry (internal/mechreg, DESIGN.md
+// §9): the evaluator is a registry client — it owns the per-network
+// BuildContext (the shared substrate the descriptors' Build closures
+// draw from) and caches one built mechanism per name.
+//
 // Determinism contract: a query's result is byte-identical no matter how
 // the evaluator has been used before (pooled states reset to
 // as-constructed behavior) and no matter the EvaluateBatch worker count
@@ -18,40 +24,44 @@
 package query
 
 import (
-	"fmt"
 	"sync"
 
 	"wmcs/internal/engine"
-	"wmcs/internal/euclid1"
-	"wmcs/internal/jv"
 	"wmcs/internal/mech"
+	"wmcs/internal/mechreg"
 	"wmcs/internal/memtred"
 	"wmcs/internal/nwst"
-	"wmcs/internal/universal"
 	"wmcs/internal/wireless"
-	"wmcs/internal/wmech"
 )
 
-// Names lists the mechanism names an Evaluator accepts, in registry order.
-func Names() []string {
-	return []string{
-		"universal-shapley", "universal-mc", "wireless-bb",
-		"alpha1-shapley", "alpha1-mc", "line-shapley", "line-mc", "jv-moat",
-	}
-}
+// Names lists the mechanism names an Evaluator accepts, in registry
+// order (delegated to the descriptor registry — the single source of
+// truth for mechanism names).
+func Names() []string { return mechreg.Names() }
+
+// ErrUnknownMechanism and ErrUnsupportedDomain are the registry's typed
+// lookup errors, re-exported so evaluator callers can branch without
+// importing mechreg: an unknown name is a caller bug (the serving layer
+// answers 400), a domain mismatch is a valid name on the wrong network
+// class (422).
+var (
+	ErrUnknownMechanism  = mechreg.ErrUnknownMechanism
+	ErrUnsupportedDomain = mechreg.ErrUnsupportedDomain
+)
 
 // Evaluator is the reusable query engine for one network: it caches the
-// MEMT→NWST reduction and one mechanism instance per registry name, each
-// built on first use.
+// shared substrate (MEMT→NWST reduction, universal tree) inside a
+// registry BuildContext and one mechanism instance per registry name,
+// each built on first use.
 //
 // Concurrency: an Evaluator is safe for unbounded concurrent use, from a
 // cold start onward — the serving layer shares one per hosted network
 // across every client. The discipline is two-layered:
 //
-//   - construction is serialized by e.mu: the substrate caches (rd, spt)
-//     and the mechanism map are only read or written with the mutex
-//     held, so concurrent first queries race to the lock, one builds,
-//     and the rest observe the completed value;
+//   - construction is serialized by e.mu: the BuildContext's substrate
+//     caches and the mechanism map are only read or written with the
+//     mutex held, so concurrent first queries race to the lock, one
+//     builds, and the rest observe the completed value;
 //   - execution is lock-free: Run is invoked on the shared mechanism
 //     outside the mutex, which is sound because every registry mechanism
 //     is immutable after construction, and the one piece of mutable
@@ -64,13 +74,12 @@ func Names() []string {
 // matter which goroutine runs it, how many run at once, or what ran
 // before (TestEvaluatorConcurrentHammer pins this under -race).
 type Evaluator struct {
-	net    *wireless.Network
-	oracle nwst.Oracle
+	net *wireless.Network
 
-	mu    sync.Mutex
-	rd    *memtred.Reduction
-	spt   *universal.Tree
-	mechs map[string]mech.Mechanism
+	mu        sync.Mutex
+	ctx       *mechreg.BuildContext
+	mechs     map[string]mech.Mechanism
+	supported []string
 }
 
 // Option tunes an Evaluator at construction.
@@ -79,7 +88,7 @@ type Option func(*Evaluator)
 // WithOracle selects the spider oracle of the wireless-bb mechanism
 // (default nwst.BranchSpiderOracle, the paper's 1.5 ln k choice).
 func WithOracle(o nwst.Oracle) Option {
-	return func(e *Evaluator) { e.oracle = o }
+	return func(e *Evaluator) { e.ctx.Oracle = o }
 }
 
 // NewEvaluator builds the query engine for a network. Construction is
@@ -87,9 +96,9 @@ func WithOracle(o nwst.Oracle) Option {
 // tables) happens lazily on the first query that needs it.
 func NewEvaluator(nw *wireless.Network, opts ...Option) *Evaluator {
 	e := &Evaluator{
-		net:    nw,
-		oracle: nwst.BranchSpiderOracle,
-		mechs:  make(map[string]mech.Mechanism),
+		net:   nw,
+		ctx:   mechreg.NewBuildContext(nw),
+		mechs: make(map[string]mech.Mechanism),
 	}
 	for _, o := range opts {
 		o(e)
@@ -105,75 +114,45 @@ func (e *Evaluator) Network() *wireless.Network { return e.net }
 func (e *Evaluator) Reduction() *memtred.Reduction {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.reductionLocked()
+	return e.ctx.Reduction()
 }
 
-func (e *Evaluator) reductionLocked() *memtred.Reduction {
-	if e.rd == nil {
-		e.rd = memtred.New(e.net)
+// Supported lists, in registry order, the mechanism names whose declared
+// domain admits this evaluator's network — exactly the names Evaluate
+// will not reject with ErrUnsupportedDomain. The serving layer
+// advertises this set per hosted network.
+func (e *Evaluator) Supported() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.supported == nil {
+		e.supported = mechreg.SupportedNames(e.net)
 	}
-	return e.rd
-}
-
-func (e *Evaluator) sptLocked() *universal.Tree {
-	if e.spt == nil {
-		e.spt = universal.SPT(e.net)
-	}
-	return e.spt
+	// Callers get a copy: appending to a shared cached slice would race
+	// across goroutines (and corrupt the cache).
+	return append([]string(nil), e.supported...)
 }
 
 // Mechanism returns the cached mechanism for a registry name, building
-// and validating it on first use. The returned mechanism is shared: all
-// registry mechanisms are safe for concurrent Run.
+// and validating it on first use (a registry lookup plus the
+// descriptor's domain check; errors wrap ErrUnknownMechanism or
+// ErrUnsupportedDomain and carry the public "wmcs:" prefix because they
+// surface unchanged through the wmcs.Evaluator alias and wmcs.ByName).
+// The returned mechanism is shared: all registry mechanisms are safe
+// for concurrent Run.
 func (e *Evaluator) Mechanism(name string) (mech.Mechanism, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if m, ok := e.mechs[name]; ok {
 		return m, nil
 	}
-	m, err := e.build(name)
+	// Built with e.mu held so the BuildContext's substrate caches
+	// (reduction, SPT) are read and written consistently.
+	m, err := mechreg.Build(name, e.ctx)
 	if err != nil {
 		return nil, err
 	}
 	e.mechs[name] = m
 	return m, nil
-}
-
-// build constructs a mechanism by registry name; called with e.mu held so
-// the shared substrates (reduction, SPT) are cached consistently. Errors
-// carry the public "wmcs:" prefix because they surface unchanged through
-// the wmcs.Evaluator alias and wmcs.ByName.
-func (e *Evaluator) build(name string) (mech.Mechanism, error) {
-	nw := e.net
-	switch name {
-	case "universal-shapley":
-		return universal.ShapleyMechanism(e.sptLocked()), nil
-	case "universal-mc":
-		return universal.MCMechanism(e.sptLocked()), nil
-	case "wireless-bb":
-		return wmech.NewFromReduction(e.reductionLocked(), e.oracle), nil
-	case "alpha1-shapley", "alpha1-mc":
-		if !nw.IsEuclidean() || nw.PowerModel().Alpha != 1 {
-			return nil, fmt.Errorf("wmcs: %s requires a Euclidean network with alpha = 1", name)
-		}
-		g := euclid1.NewAirportGame(nw)
-		if name == "alpha1-shapley" {
-			return g.ShapleyMechanism(), nil
-		}
-		return g.MCMechanism(), nil
-	case "line-shapley", "line-mc":
-		if nw.Dim() != 1 {
-			return nil, fmt.Errorf("wmcs: %s requires a 1-dimensional network", name)
-		}
-		g := euclid1.NewLineGame(nw)
-		if name == "line-shapley" {
-			return g.ShapleyMechanism(), nil
-		}
-		return g.MCMechanism(), nil
-	case "jv-moat":
-		return jv.NewMechanism(nw, nil), nil
-	}
-	return nil, fmt.Errorf("wmcs: unknown mechanism %q (try one of %v)", name, Names())
 }
 
 // Evaluate runs one receiver-set query: mechanism name, candidate

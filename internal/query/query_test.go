@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -185,21 +186,55 @@ func TestEvaluateBatchParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestEvaluatorErrors covers registry validation through the evaluator.
+// TestEvaluatorErrors covers registry validation through the evaluator:
+// failures must carry the registry's typed errors so callers (the
+// serving layer's 400-vs-422 mapping) can branch on kind.
 func TestEvaluatorErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	nw := instances.RandomEuclidean(rng, 6, 2, 2, 10) // α=2, d=2
 	ev := NewEvaluator(nw)
-	if _, err := ev.Mechanism("alpha1-shapley"); err == nil {
-		t.Error("alpha1 accepted on α=2 network")
+	if _, err := ev.Mechanism("alpha1-shapley"); !errors.Is(err, ErrUnsupportedDomain) {
+		t.Errorf("alpha1 on α=2 network: %v, want ErrUnsupportedDomain", err)
 	}
-	if _, err := ev.Mechanism("line-mc"); err == nil {
-		t.Error("line accepted on 2-d network")
+	if _, err := ev.Mechanism("line-mc"); !errors.Is(err, ErrUnsupportedDomain) {
+		t.Errorf("line on 2-d network: %v, want ErrUnsupportedDomain", err)
 	}
-	if _, err := ev.Mechanism("bogus"); err == nil {
-		t.Error("unknown mechanism accepted")
+	if _, err := ev.Mechanism("bogus"); !errors.Is(err, ErrUnknownMechanism) {
+		t.Errorf("unknown mechanism: %v, want ErrUnknownMechanism", err)
 	}
-	if _, err := ev.Evaluate("bogus", nil, mech.Profile{}); err == nil {
-		t.Error("Evaluate accepted unknown mechanism")
+	if _, err := ev.Evaluate("bogus", nil, mech.Profile{}); !errors.Is(err, ErrUnknownMechanism) {
+		t.Errorf("Evaluate unknown mechanism: %v, want ErrUnknownMechanism", err)
+	}
+}
+
+// TestEvaluatorSupported: the per-network supported set is exactly the
+// names Evaluate accepts — the contract the serving layer's /v1/networks
+// advertisement leans on.
+func TestEvaluatorSupported(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct {
+		label string
+		nw    *wireless.Network
+	}{
+		{"planar α=2", instances.RandomEuclidean(rng, 7, 2, 2, 10)},
+		{"line α=2", instances.RandomLine(rng, 7, 2, 10)},
+		{"line α=1", instances.RandomLine(rng, 7, 1, 10)},
+		{"symmetric", instances.RandomSymmetric(rng, 7, 0.5, 10)},
+	} {
+		ev := NewEvaluator(tc.nw)
+		supported := map[string]bool{}
+		for _, name := range ev.Supported() {
+			supported[name] = true
+		}
+		u := mech.RandomProfile(rng, tc.nw.N(), 40)
+		for _, name := range Names() {
+			_, err := ev.Evaluate(name, nil, u)
+			if supported[name] && err != nil {
+				t.Errorf("%s: Supported lists %s but Evaluate failed: %v", tc.label, name, err)
+			}
+			if !supported[name] && !errors.Is(err, ErrUnsupportedDomain) {
+				t.Errorf("%s: Supported omits %s but Evaluate returned %v", tc.label, name, err)
+			}
+		}
 	}
 }

@@ -23,7 +23,7 @@ import (
 	"strings"
 
 	"wmcs/internal/mech"
-	"wmcs/internal/query"
+	"wmcs/internal/mechreg"
 )
 
 // Quantum is the utility quantization grid: every reported utility is
@@ -38,7 +38,7 @@ const Quantum = 1e-6
 type EvalRequest struct {
 	// Network is the registry name of the network to query.
 	Network string `json:"network"`
-	// Mech is a mechanism registry name (query.Names).
+	// Mech is a mechanism registry name (mechreg.Names).
 	Mech string `json:"mech"`
 	// R is the candidate receiver set; empty/absent means every station
 	// may be served. Order and duplicates are irrelevant: the codec
@@ -63,10 +63,13 @@ type CanonRequest struct {
 	Key     string
 }
 
-// mechNames is the set form of query.Names for O(1) validation.
+// mechNames is the set form of the descriptor registry's names for O(1)
+// validation. (Whether the *target network's* domain admits the
+// mechanism is the serving layer's per-entry check, mapped to 422; an
+// unknown name is a 400 here.)
 var mechNames = func() map[string]bool {
 	m := make(map[string]bool)
-	for _, n := range query.Names() {
+	for _, n := range mechreg.Names() {
 		m[n] = true
 	}
 	return m
@@ -93,7 +96,7 @@ var mechNames = func() map[string]bool {
 //     enters at the serving layer as a name+generation prefix.
 func Canonicalize(req EvalRequest, n, source int) (CanonRequest, error) {
 	if !mechNames[req.Mech] {
-		return CanonRequest{}, fmt.Errorf("unknown mechanism %q (have %s)", req.Mech, strings.Join(query.Names(), ", "))
+		return CanonRequest{}, fmt.Errorf("%w %q (have %s)", mechreg.ErrUnknownMechanism, req.Mech, strings.Join(mechreg.Names(), ", "))
 	}
 	if len(req.Profile) != n {
 		return CanonRequest{}, fmt.Errorf("profile has %d entries, network has %d stations", len(req.Profile), n)

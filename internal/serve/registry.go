@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"wmcs/internal/instances"
+	"wmcs/internal/mechreg"
 	"wmcs/internal/query"
 	"wmcs/internal/wireless"
 )
@@ -36,6 +37,12 @@ type NetworkEntry struct {
 	Spec instances.Spec
 	Net  *wireless.Network
 	Ev   *query.Evaluator
+	// Supported is the registry-derived mechanism set this network's
+	// domain admits, in registry order — exactly what /v1/networks
+	// advertises for the entry and what evaluation will not 422.
+	// Computed once at registration (the network class never changes).
+	Supported []string
+	supports  map[string]bool
 	// gen is this registration's unique generation number: cache keys
 	// are prefixed with it, so results computed against this entry can
 	// never be served for a later network registered under the same
@@ -97,9 +104,28 @@ func (r *Registry) RegisterSpec(sp instances.Spec) error {
 	return r.add(&NetworkEntry{Name: sp.Name, Spec: sp, Net: nw, Ev: query.NewEvaluator(nw)})
 }
 
+// CheckMech reports whether the entry's network admits the named
+// mechanism; a non-nil error wraps mechreg.ErrUnsupportedDomain (or
+// ErrUnknownMechanism) and is what the HTTP layer maps to a structured
+// 422. The common case is an O(1) set lookup against the snapshot taken
+// at registration.
+func (e *NetworkEntry) CheckMech(name string) error {
+	if e.supports != nil && e.supports[name] {
+		return nil
+	}
+	// Miss or hand-built entry (tests): ask the registry for the
+	// canonical typed error.
+	return mechreg.Supports(name, e.Net)
+}
+
 func (r *Registry) add(e *NetworkEntry) error {
 	if err := validateName(e.Name); err != nil {
 		return err
+	}
+	e.Supported = mechreg.SupportedNames(e.Net)
+	e.supports = make(map[string]bool, len(e.Supported))
+	for _, n := range e.Supported {
+		e.supports[n] = true
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

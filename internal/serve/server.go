@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"wmcs/internal/instances"
-	"wmcs/internal/query"
+	"wmcs/internal/mechreg"
 )
 
 // Options tune a Server; zero values select the defaults.
@@ -38,7 +38,8 @@ type Options struct {
 //
 //	GET    /healthz              liveness ("ok")
 //	GET    /statsz               counters + per-mechanism latency quantiles
-//	GET    /v1/networks          hosted networks
+//	GET    /v1/mechanisms        the mechanism registry: names, domains, guarantees
+//	GET    /v1/networks          hosted networks + the mechanisms each supports
 //	POST   /v1/networks          register a scenario spec (instances.Spec JSON)
 //	DELETE /v1/networks/{name}   evict a network (and its cache entries)
 //	POST   /v1/evaluate          one EvalRequest -> EvalResponse
@@ -70,6 +71,7 @@ func NewServer(reg *Registry, opts Options) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /v1/mechanisms", s.handleListMechanisms)
 	mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
 	mux.HandleFunc("POST /v1/networks", s.handleRegisterNetwork)
 	mux.HandleFunc("DELETE /v1/networks/{name}", s.handleEvictNetwork)
@@ -103,6 +105,9 @@ func (s *Server) EvaluateCanon(c CanonRequest) (body []byte, source string, err 
 	entry, ok := s.reg.Get(c.Network)
 	if !ok {
 		return nil, "", fmt.Errorf("unknown network %q", c.Network)
+	}
+	if err := entry.CheckMech(c.Mech); err != nil {
+		return nil, "", err
 	}
 	return s.evaluateEntry(entry, c)
 }
@@ -163,33 +168,88 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, p)
 }
 
-// networkInfo is one row of GET /v1/networks.
+// networkInfo is one row of GET /v1/networks. Mechanisms is the
+// per-network supported set: exactly the registry names whose declared
+// domain admits this network, i.e. the names /v1/evaluate will not
+// reject with a 422 — the listing and evaluate-time reality can never
+// disagree because both read the same registry snapshot.
 type networkInfo struct {
-	Name      string          `json:"name"`
-	Stations  int             `json:"stations"`
-	Source    int             `json:"source"`
-	Euclidean bool            `json:"euclidean"`
-	Spec      *instances.Spec `json:"spec,omitempty"`
+	Name       string          `json:"name"`
+	Stations   int             `json:"stations"`
+	Source     int             `json:"source"`
+	Euclidean  bool            `json:"euclidean"`
+	Mechanisms []string        `json:"mechanisms"`
+	Spec       *instances.Spec `json:"spec,omitempty"`
 }
 
 func (s *Server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
 	entries := s.reg.Entries()
 	out := struct {
-		Networks   []networkInfo `json:"networks"`
-		Mechanisms []string      `json:"mechanisms"`
-	}{Networks: make([]networkInfo, 0, len(entries)), Mechanisms: query.Names()}
+		Networks []networkInfo `json:"networks"`
+		// Mechanisms is the full registry name list; whether a hosted
+		// network supports a given name is per-network information.
+		Mechanisms []string `json:"mechanisms"`
+	}{Networks: make([]networkInfo, 0, len(entries)), Mechanisms: mechreg.Names()}
 	for _, e := range entries {
 		info := networkInfo{
-			Name:      e.Name,
-			Stations:  e.Net.N(),
-			Source:    e.Net.Source(),
-			Euclidean: e.Net.IsEuclidean(),
+			Name:       e.Name,
+			Stations:   e.Net.N(),
+			Source:     e.Net.Source(),
+			Euclidean:  e.Net.IsEuclidean(),
+			Mechanisms: e.Supported,
 		}
 		if e.Spec.Scenario != "" {
 			sp := e.Spec
 			info.Spec = &sp
 		}
 		out.Networks = append(out.Networks, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// mechInfo is one row of GET /v1/mechanisms: the wire form of a
+// registry descriptor — name, family, domain, paper anchor and the
+// declared guarantees, rendered so clients (and the CI smoke diff
+// against the CLI's listing) need no knowledge of internal types.
+type mechInfo struct {
+	Name     string `json:"name"`
+	Family   string `json:"family"`
+	Domain   string `json:"domain"`
+	PaperRef string `json:"paper_ref"`
+	Desc     string `json:"desc"`
+
+	BudgetBalance     string `json:"budget_balance"` // "none" | "solution" | "optimum"
+	Beta              string `json:"beta,omitempty"` // declared factor, human form
+	Strategyproofness string `json:"strategyproofness"`
+	SPGap             string `json:"sp_gap,omitempty"`
+	NPT               bool   `json:"npt"`
+	VP                bool   `json:"vp"`
+	CS                bool   `json:"cs"`
+	Efficient         bool   `json:"efficient"`
+}
+
+func (s *Server) handleListMechanisms(w http.ResponseWriter, r *http.Request) {
+	all := mechreg.All()
+	out := struct {
+		Mechanisms []mechInfo `json:"mechanisms"`
+	}{Mechanisms: make([]mechInfo, 0, len(all))}
+	for _, d := range all {
+		g := d.Guarantees
+		out.Mechanisms = append(out.Mechanisms, mechInfo{
+			Name:              d.Name,
+			Family:            d.Family,
+			Domain:            d.Domain,
+			PaperRef:          d.PaperRef,
+			Desc:              d.Desc,
+			BudgetBalance:     g.BB.String(),
+			Beta:              g.BetaLabel,
+			Strategyproofness: g.Strategyproofness.String(),
+			SPGap:             g.SPGap,
+			NPT:               g.NPT,
+			VP:                g.VP,
+			CS:                g.CS,
+			Efficient:         g.Efficient,
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -234,7 +294,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	body, source, code, err := s.evaluateWire(req)
 	if err != nil {
 		s.stats.Errors.Add(1)
-		writeErr(w, code, err.Error())
+		writeJSON(w, code, errPayload(req, err))
 		return
 	}
 	s.stats.Observe(req.Mech, time.Since(start))
@@ -254,6 +314,13 @@ func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, code
 	c, err := Canonicalize(req, entry.Net.N(), entry.Net.Source())
 	if err != nil {
 		return nil, "", http.StatusBadRequest, err
+	}
+	// Registry-declared domain check, before admission: a valid name on
+	// a network outside its domain is a structured 422 — the same
+	// verdict the per-network listing in /v1/networks advertises, so the
+	// two can never disagree.
+	if err := entry.CheckMech(c.Mech); err != nil {
+		return nil, "", http.StatusUnprocessableEntity, err
 	}
 	s.stats.Queries.Add(1)
 	body, source, err = s.evaluateEntry(entry, c)
@@ -275,16 +342,42 @@ func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, code
 	return body, source, 0, nil
 }
 
+// errBody is the error wire form. Code annotates the structured
+// rejections clients can branch on without parsing the message:
+// "unsupported_domain" (the mechanism's declared domain does not admit
+// the target network — the combination /v1/networks would not
+// advertise) and "unknown_mechanism" (no such registry name).
+type errBody struct {
+	Error   string `json:"error"`
+	Code    string `json:"code,omitempty"`
+	Mech    string `json:"mech,omitempty"`
+	Network string `json:"network,omitempty"`
+}
+
+// errPayload classifies an evaluation error into its wire form using
+// the registry's typed errors.
+func errPayload(req EvalRequest, err error) errBody {
+	b := errBody{Error: err.Error()}
+	switch {
+	case errors.Is(err, mechreg.ErrUnsupportedDomain):
+		b.Code, b.Mech, b.Network = "unsupported_domain", req.Mech, req.Network
+	case errors.Is(err, mechreg.ErrUnknownMechanism):
+		b.Code, b.Mech = "unknown_mechanism", req.Mech
+	}
+	return b
+}
+
 // batchElem is one /v1/batch result: the canonical response bytes of
-// the element, or its error.
+// the element, or its error (structured like the single endpoint's).
 type batchElem struct {
+	req  EvalRequest
 	body []byte
 	err  error
 }
 
 func (e batchElem) MarshalJSON() ([]byte, error) {
 	if e.err != nil {
-		return json.Marshal(map[string]string{"error": e.err.Error()})
+		return json.Marshal(errPayload(e.req, e.err))
 	}
 	return e.body, nil
 }
@@ -315,7 +408,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			start := time.Now()
 			body, _, _, err := s.evaluateWire(reqs[i])
-			elems[i] = batchElem{body: body, err: err}
+			elems[i] = batchElem{req: reqs[i], body: body, err: err}
 			if err != nil {
 				s.stats.Errors.Add(1)
 			} else {

@@ -166,10 +166,12 @@ func (ut *Tree) ShapleyMethod() sharing.Method {
 
 // ShapleyMechanism returns the §2.1 budget-balanced group-strategyproof
 // mechanism: Moulin–Shenker iteration over the closed-form tree Shapley
-// value.
+// value. The name is a package-internal default for direct
+// constructions; the public registry name is assigned by the mechanism
+// descriptor registry (internal/mechreg), which owns all public names.
 func ShapleyMechanism(ut *Tree) mech.Mechanism {
 	return &sharing.MechanismFromMethod{
-		MechName: "universal-shapley",
+		MechName: "tree-shapley",
 		AgentSet: ut.Net.AllReceivers(),
 		Xi:       ut.ShapleyMethod(),
 		Cost:     ut.CostFunc(),
@@ -186,7 +188,9 @@ type mcMechanism struct {
 // universal tree.
 func MCMechanism(ut *Tree) mech.Mechanism { return &mcMechanism{ut: ut} }
 
-func (m *mcMechanism) Name() string  { return "universal-mc" }
+// Name is the package-internal default; the registry (internal/mechreg)
+// assigns the public universal-mc name to registry-built instances.
+func (m *mcMechanism) Name() string  { return "tree-mc" }
 func (m *mcMechanism) Agents() []int { return m.ut.Net.AllReceivers() }
 
 func (m *mcMechanism) Run(u mech.Profile) mech.Outcome {

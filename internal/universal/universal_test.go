@@ -204,7 +204,7 @@ func TestMCMechanism(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	nw, ut := randomTree(rng, 8, 2, 2)
 	m := MCMechanism(ut)
-	if m.Name() != "universal-mc" {
+	if m.Name() != "tree-mc" { // package-internal default; mechreg assigns the public name
 		t.Fatal("name wrong")
 	}
 	for trial := 0; trial < 10; trial++ {

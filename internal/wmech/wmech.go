@@ -60,7 +60,10 @@ func NewFromReduction(rd *memtred.Reduction, oracle nwst.Oracle) *Mechanism {
 }
 
 // Name implements mech.Mechanism.
-func (m *Mechanism) Name() string { return "wireless-bb" }
+// Name is the package-internal default for direct constructions; the
+// descriptor registry (internal/mechreg) assigns the public wireless-bb
+// name to registry-built instances.
+func (m *Mechanism) Name() string { return "nwst-wireless" }
 
 // Agents implements mech.Mechanism: every station except the source.
 func (m *Mechanism) Agents() []int { return m.Net.AllReceivers() }

@@ -22,18 +22,15 @@ package wmcs
 import (
 	"fmt"
 
-	"wmcs/internal/euclid1"
 	"wmcs/internal/geom"
 	"wmcs/internal/graph"
 	"wmcs/internal/instances"
 	"wmcs/internal/jv"
 	"wmcs/internal/mech"
-	"wmcs/internal/nwst"
+	"wmcs/internal/mechreg"
 	"wmcs/internal/query"
 	"wmcs/internal/serve"
-	"wmcs/internal/universal"
 	"wmcs/internal/wireless"
-	"wmcs/internal/wmech"
 )
 
 // Network is a symmetric wireless network (see internal/wireless).
@@ -80,50 +77,101 @@ func NewSymmetricNetwork(costs [][]float64, source int) (*Network, error) {
 	return wireless.NewSymmetric(m, source), nil
 }
 
+// The registry mechanism names, re-exported so callers can name a
+// mechanism (Evaluate, EvaluateBatch, ByName) without spelling the
+// string: the descriptor registry (internal/mechreg, DESIGN.md §9) is
+// the single source of truth for names, domains and guarantees.
+const (
+	MechUniversalShapley = mechreg.UniversalShapley
+	MechUniversalMC      = mechreg.UniversalMC
+	MechWirelessBB       = mechreg.WirelessBB
+	MechAlpha1Shapley    = mechreg.Alpha1Shapley
+	MechAlpha1MC         = mechreg.Alpha1MC
+	MechLineShapley      = mechreg.LineShapley
+	MechLineMC           = mechreg.LineMC
+	MechJVMoat           = mechreg.JVMoat
+)
+
+// ErrUnknownMechanism and ErrUnsupportedDomain are the registry's typed
+// lookup errors: every name-resolution failure out of ByName or an
+// Evaluator wraps one of them — branch with errors.Is.
+var (
+	ErrUnknownMechanism  = mechreg.ErrUnknownMechanism
+	ErrUnsupportedDomain = mechreg.ErrUnsupportedDomain
+)
+
+// MechanismInfo describes one registry mechanism: name, family, domain,
+// paper anchor, and the declared guarantees the conformance suite
+// verifies. See Mechanisms.
+type MechanismInfo = mechreg.Descriptor
+
+// Mechanisms returns the descriptor registry in presentation order —
+// the machine-readable form of the README's mechanism table. The slice
+// is the caller's to keep: mutating it cannot corrupt the registry.
+func Mechanisms() []MechanismInfo {
+	return append([]MechanismInfo(nil), mechreg.All()...)
+}
+
+// mustBuild constructs a registry mechanism for nw, panicking on a
+// domain mismatch — the behavior the one-shot constructors have always
+// had (euclid1's constructors panicked on the wrong network class).
+func mustBuild(name string, nw *Network) Mechanism {
+	m, err := mechreg.Build(name, mechreg.NewBuildContext(nw))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // UniversalShapley returns the §2.1 budget-balanced group-strategyproof
 // Shapley mechanism on a shortest-path universal tree.
 func UniversalShapley(nw *Network) Mechanism {
-	return universal.ShapleyMechanism(universal.SPT(nw))
+	return mustBuild(MechUniversalShapley, nw)
 }
 
 // UniversalMC returns the §2.1 efficient strategyproof marginal-cost
 // mechanism on a shortest-path universal tree.
 func UniversalMC(nw *Network) Mechanism {
-	return universal.MCMechanism(universal.SPT(nw))
+	return mustBuild(MechUniversalMC, nw)
 }
 
 // WirelessBudgetBalanced returns the §2.2.3 mechanism: 3·ln(k+1)-BB,
 // strategyproof, NPT/VP/CS, for arbitrary symmetric networks.
 func WirelessBudgetBalanced(nw *Network) Mechanism {
-	return wmech.New(nw, nwst.BranchSpiderOracle)
+	return mustBuild(MechWirelessBB, nw)
 }
 
 // Alpha1Shapley returns the Theorem 3.2 optimally budget-balanced
 // mechanism for Euclidean networks with α = 1.
 func Alpha1Shapley(nw *Network) Mechanism {
-	return euclid1.NewAirportGame(nw).ShapleyMechanism()
+	return mustBuild(MechAlpha1Shapley, nw)
 }
 
 // Alpha1MC returns the Theorem 3.2 efficient mechanism for α = 1.
 func Alpha1MC(nw *Network) Mechanism {
-	return euclid1.NewAirportGame(nw).MCMechanism()
+	return mustBuild(MechAlpha1MC, nw)
 }
 
 // LineShapley returns the Theorem 3.2 optimally budget-balanced mechanism
 // for 1-dimensional networks.
 func LineShapley(nw *Network) Mechanism {
-	return euclid1.NewLineGame(nw).ShapleyMechanism()
+	return mustBuild(MechLineShapley, nw)
 }
 
 // LineMC returns the Theorem 3.2 efficient mechanism for d = 1.
 func LineMC(nw *Network) Mechanism {
-	return euclid1.NewLineGame(nw).MCMechanism()
+	return mustBuild(MechLineMC, nw)
 }
 
 // Moat returns the Theorem 3.6/3.7 Jain–Vazirani moat mechanism
-// (2(3^d−1)-BB, group strategyproof); weights parameterize the family
-// (nil = uniform).
+// (2(3^d−1)-BB, group strategyproof); weights parameterize the family.
+// nil weights select the uniform member — the registry's jv-moat — and
+// custom weights a non-registry family member (reported under the
+// package-internal "moat" name).
 func Moat(nw *Network, weights func(agent int) float64) Mechanism {
+	if weights == nil {
+		return mustBuild(MechJVMoat, nw)
+	}
 	return jv.NewMechanism(nw, weights)
 }
 
@@ -146,8 +194,14 @@ type Response = query.Response
 // is cheap; repeated queries then amortize it.
 func NewEvaluator(nw *Network) *Evaluator { return query.NewEvaluator(nw) }
 
-// MechanismNames lists the names accepted by ByName and the Evaluator.
-func MechanismNames() []string { return query.Names() }
+// MechanismNames lists the names accepted by ByName and the Evaluator,
+// in registry order.
+func MechanismNames() []string { return mechreg.Names() }
+
+// SupportedMechanisms lists, in registry order, the mechanism names
+// whose declared domain admits nw — the names Evaluate will accept
+// rather than reject with ErrUnsupportedDomain.
+func SupportedMechanisms(nw *Network) []string { return mechreg.SupportedNames(nw) }
 
 // ByName constructs a fresh mechanism by its registry name, validating
 // the network against the mechanism's requirements. For repeated queries
