@@ -34,7 +34,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8571", "listen address")
 		manifest = flag.String("manifest", "", "startup manifest: JSON array of scenario specs (default: a demo set)")
-		cache    = flag.Int("cache", 0, "result-cache capacity in entries (0 = default 4096, negative disables)")
+		cache    = flag.Int("cache", serve.DefaultCacheCapacity, "result-cache capacity in entries (0 disables)")
 		shards   = flag.Int("shards", 0, "result-cache shard count (0 = default 16)")
 		workers  = flag.Int("workers", 0, "engine-pool width per evaluation batch: 1 = serial, 0 = GOMAXPROCS")
 		maxbatch = flag.Int("maxbatch", 0, "max queries per admission batch (0 = default 64)")
@@ -65,8 +65,14 @@ func main() {
 		log.Printf("wmcsd: network %-10s %d stations (source %d)", e.Name, e.Net.N(), e.Net.Source())
 	}
 
+	// The flag speaks the cache's own contract (0 disables, matching
+	// serve.NewCache); Options uses 0 for "unset", so translate.
+	cacheCap := *cache
+	if cacheCap == 0 {
+		cacheCap = -1
+	}
 	srv := serve.NewServer(reg, serve.Options{
-		CacheCapacity: *cache,
+		CacheCapacity: cacheCap,
 		CacheShards:   *shards,
 		Workers:       *workers,
 		MaxBatch:      *maxbatch,

@@ -73,6 +73,9 @@ func main() {
 		quick    = flag.Bool("quick", false, "small run (600 queries, 4 workers, pool 16)")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		noVerify = flag.Bool("no-verify", false, "skip response byte-identity verification")
+		churn    = flag.Bool("churn", false, "interleave PATCH network updates with the query stream and verify every response against a cold evaluator on its exact network version (re-registers the driven networks for a version-0 baseline)")
+		updates  = flag.Int("updates", 12, "PATCH updates to interleave in -churn mode (quick: 6)")
+		churnMod = flag.String("churn-model", "auto", "churn model: auto | "+strings.Join(instances.ChurnModelNames(), " | "))
 	)
 	cliutil.Parse()
 	if *quick {
@@ -87,6 +90,9 @@ func main() {
 		}
 		if !set["hot"] {
 			*hot = 16
+		}
+		if !set["updates"] {
+			*updates = 6
 		}
 	}
 	if *parallel < 1 {
@@ -103,6 +109,14 @@ func main() {
 	}
 	if *umax <= 0 {
 		cliutil.Die("-umax must be > 0 (got %g)", *umax)
+	}
+	if *churn {
+		if *updates < 1 || *updates >= *queries {
+			cliutil.Die("-updates must be in [1, queries) (got %d for %d queries)", *updates, *queries)
+		}
+		if *churnMod != "auto" {
+			cliutil.OneOf("-churn-model", *churnMod, instances.ChurnModelNames())
+		}
 	}
 	wl, err := instances.WorkloadByName(*workload)
 	if err != nil {
@@ -137,7 +151,13 @@ func main() {
 		cliutil.Die("%v", err)
 	}
 	defer shutdown()
-	if err := ensureNetworks(baseURL, specs); err != nil {
+	if *churn {
+		// Churn mode owns its networks' lifecycle: re-register for a
+		// version-0 baseline so replica replay starts from the spec.
+		if err := ensureFreshNetworks(baseURL, specs); err != nil {
+			cliutil.Die("%v", err)
+		}
+	} else if err := ensureNetworks(baseURL, specs); err != nil {
 		cliutil.Die("%v", err)
 	}
 
@@ -174,7 +194,7 @@ func main() {
 		cliutil.Die("statsz before run: %v", err)
 	}
 
-	run := runLoad(loadConfig{
+	cfg := loadConfig{
 		baseURL:  baseURL,
 		specs:    specs,
 		nets:     nets,
@@ -190,7 +210,27 @@ func main() {
 			ZipfS:   *zipfS,
 			UMax:    *umax,
 		},
-	})
+	}
+	var churnDrv *churnDriver
+	if *churn {
+		if churnDrv, err = newChurnDriver(cfg, *updates, *churnMod, *seed); err != nil {
+			cliutil.Die("%v", err)
+		}
+		cfg.churn = churnDrv
+		go churnDrv.run()
+	}
+	run := runLoad(cfg)
+	if churnDrv != nil {
+		verified, mismatches, firstErr := churnDrv.finish()
+		run.compared += verified
+		run.mismatches += mismatches
+		if firstErr != "" {
+			run.errors++
+			if run.firstError == "" {
+				run.firstError = firstErr
+			}
+		}
+	}
 
 	after, err := fetchStatsz(baseURL)
 	if err != nil {
@@ -200,6 +240,7 @@ func main() {
 	report(run, before, after, *jsonOut, reportMeta{
 		workload: wl.Name, queries: *queries, parallel: *parallel,
 		hot: *hot, zipf: *zipfS, seed: *seed, nets: len(specs),
+		churn: churnDrv,
 	})
 	if run.errors > 0 || run.mismatches > 0 {
 		os.Exit(1)
@@ -296,6 +337,8 @@ type statszDoc struct {
 	Coalesced      uint64 `json:"coalesced"`
 	Batches        uint64 `json:"batches"`
 	BatchedQueries uint64 `json:"batched_queries"`
+	Updates        uint64 `json:"updates"`
+	UpdateOps      uint64 `json:"update_ops"`
 	Cache          struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
@@ -332,6 +375,9 @@ type loadConfig struct {
 	seed     int64
 	verify   bool
 	opts     instances.WorkloadOptions
+	// churn, when non-nil, switches verification to the churn driver's
+	// generation-pinned cold comparison and paces its updater.
+	churn *churnDriver
 }
 
 // pinMech resolves a query's mechanism on network j: the hash pins into
@@ -418,6 +464,10 @@ func runLoad(cfg loadConfig) loadResult {
 				body, _ := json.Marshal(req)
 				t0 := time.Now()
 				resp, err := client.Post(cfg.baseURL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+				if cfg.churn != nil {
+					// Pace the updater on attempts, success or not.
+					cfg.churn.completed.Add(1)
+				}
 				if err != nil {
 					mu.Lock()
 					res.errors++
@@ -431,6 +481,13 @@ func runLoad(cfg loadConfig) loadResult {
 				resp.Body.Close()
 				lat := time.Since(t0)
 				source := resp.Header.Get("X-Wmcs-Cache")
+				// Churn verification runs outside the global mutex (it may
+				// evaluate cold); its verdict is folded into the counters
+				// below.
+				v := verdictSkip
+				if cfg.verify && cfg.churn != nil && resp.StatusCode == http.StatusOK {
+					v = cfg.churn.check(j, req, resp.Header.Get("X-Wmcs-Version"), respBody)
+				}
 				mu.Lock()
 				if resp.StatusCode != http.StatusOK {
 					res.errors++
@@ -451,7 +508,22 @@ func runLoad(cfg loadConfig) loadResult {
 				default:
 					ms.misses++
 				}
-				if cfg.verify {
+				switch {
+				case cfg.verify && cfg.churn != nil:
+					switch v {
+					case verdictOK:
+						res.compared++
+					case verdictMismatch:
+						res.compared++
+						res.mismatches++
+						if res.firstError == "" {
+							res.firstError = fmt.Sprintf("byte mismatch on %s/%s vs cold evaluation of version %s",
+								req.Network, req.Mech, resp.Header.Get("X-Wmcs-Version"))
+						}
+					}
+					// verdictPending resolves in churnDriver.finish;
+					// verdictSkip is uncounted.
+				case cfg.verify:
 					c, cerr := serve.Canonicalize(req, cfg.nets[j].N(), cfg.nets[j].Source())
 					if cerr == nil {
 						// Canon keys are per-network; qualify with the name
@@ -506,6 +578,7 @@ type reportMeta struct {
 	zipf              float64
 	seed              int64
 	nets              int
+	churn             *churnDriver // nil outside -churn mode
 }
 
 func report(run loadResult, before, after statszDoc, jsonOut bool, meta reportMeta) {
@@ -549,8 +622,16 @@ func report(run loadResult, before, after statszDoc, jsonOut bool, meta reportMe
 	}
 	tab.Note("server: %d queries, %d cache hits (hit rate %.1f%%), %d coalesced, %d evaluations in %d batches (%.2f per batch)",
 		dQueries, dHits, 100*hitRate, dCoalesced, dBatched, dBatches, batchFactor)
-	tab.Note("verification: %d distinct queries, %d repeat responses compared, %d byte mismatches",
-		run.distinct, run.compared, run.mismatches)
+	if meta.churn != nil {
+		meta.churn.report(tab)
+		tab.Note("server: %d updates applied (%d ops); generation-bumped in place, no evict/re-register",
+			after.Updates-before.Updates, after.UpdateOps-before.UpdateOps)
+		tab.Note("verification: %d responses verified against cold per-version evaluators, %d byte mismatches",
+			run.compared, run.mismatches)
+	} else {
+		tab.Note("verification: %d distinct queries, %d repeat responses compared, %d byte mismatches",
+			run.distinct, run.compared, run.mismatches)
+	}
 	if run.repinned > 0 {
 		tab.Note("re-pinned %d queries whose hash-pinned mechanism the target network does not support", run.repinned)
 	}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mech"
+	"wmcs/internal/mechreg"
+	"wmcs/internal/query"
+	"wmcs/internal/stats"
+	"wmcs/internal/wireless"
+)
+
+// E14ShareStability measures how each registry mechanism's cost shares
+// respond to small network perturbations — the serving-layer question
+// the live lifecycle (DESIGN.md §10) makes operational: when a station
+// drifts or a radio degrades and the daemon PATCHes the network, how
+// much do the answers move? A mechanism whose shares jump
+// discontinuously under ε-perturbations churns its whole cached result
+// set for nothing and (worse) makes prices unstable for the agents.
+//
+// Setup, per (base, mechanism, ε) row: draw the base network, fix a
+// truthful profile, run the mechanism; apply one ε-scaled perturbation
+// directly through the lifecycle mutation ops (a gaussian mobility step
+// on every non-source station of a Euclidean base — the dense analogue
+// of the churn registry's mobility random walk — and ±ε relative cost
+// noise on the symmetric base); run the mechanism cold on the perturbed
+// network. Report, averaged over trials:
+//
+//   - share drift: Σ_i |x_i − x'_i| normalized by the base total
+//     charge (0 when nobody is charged in either outcome);
+//   - served churn: |S Δ S'| / |S ∪ S'|, the Jaccard distance of the
+//     served sets (0 = same receivers, 1 = disjoint).
+//
+// The grid derives from the mechanism registry exactly like E13: every
+// descriptor appears on every base its declared domain admits (the
+// α = 1 and d = 1 specials on their own bases).
+func E14ShareStability(cfg Config) *stats.Table {
+	t := stats.NewTable("E14 — cost-share stability under ε-perturbations (n=10)",
+		"base", "mechanism", "eps", "trials", "share drift", "max drift", "served churn")
+	trials := cfg.trials(6, 2)
+	const n = 10
+	epsilons := []float64{0.02, 0.1}
+
+	// Perturbation bases: one Euclidean (mobility), one line (mobility
+	// in d = 1), one α = 1 (the airport specials), one abstract
+	// symmetric (cost noise).
+	type base struct {
+		name     string
+		scenario string
+		alpha    float64
+	}
+	bases := []base{
+		{"uniform", "uniform", 2},
+		{"line", "line", 2},
+		{"alpha1", "uniform", 1},
+		{"symmetric", "symmetric", 2},
+	}
+	type combo struct {
+		b   base
+		d   mechreg.Descriptor
+		eps float64
+	}
+	var combos []combo
+	for bi, b := range bases {
+		sc, err := instances.ScenarioByName(b.scenario)
+		if err != nil {
+			panic(err)
+		}
+		probe := sc.Gen(setupRNG(141, bi), n, b.alpha)
+		for _, d := range mechreg.All() {
+			if d.Supports != nil && d.Supports(probe) != nil {
+				continue
+			}
+			for _, eps := range epsilons {
+				combos = append(combos, combo{b, d, eps})
+			}
+		}
+	}
+	type res struct {
+		drift float64
+		churn float64
+	}
+	out := cells(cfg, 141, len(combos)*trials, func(task int, rng *rand.Rand) res {
+		c := combos[task/trials]
+		sc, err := instances.ScenarioByName(c.b.scenario)
+		if err != nil {
+			panic(err)
+		}
+		nw := sc.Gen(rng, n, c.b.alpha)
+		u := mech.RandomProfile(rng, n, 60)
+		before := runCold(nw, c.d.Name, u)
+		perturbed := nw.Snapshot()
+		if err := perturb(rng, perturbed, c.eps); err != nil {
+			panic(err)
+		}
+		after := runCold(perturbed, c.d.Name, u)
+		return res{
+			drift: shareDrift(before, after),
+			churn: servedChurn(before.Receivers, after.Receivers),
+		}
+	})
+	for row := 0; row < len(combos); row++ {
+		c := combos[row]
+		var drifts, churns []float64
+		for trial := 0; trial < trials; trial++ {
+			r := out[row*trials+trial]
+			drifts = append(drifts, r.drift)
+			churns = append(churns, r.churn)
+		}
+		sd := stats.Summarize(drifts)
+		sc := stats.Summarize(churns)
+		t.Add(c.b.name, c.d.Name, fmt.Sprintf("%g", c.eps), fmt.Sprint(trials),
+			stats.F(sd.Mean), stats.F(sd.Max), stats.F(sc.Mean))
+	}
+	t.Note("perturbation: mobility random-walk of scale eps on Euclidean bases, +/-eps relative cost noise on the symmetric base")
+	t.Note("share drift = sum |x_i - x'_i| / base total charge; served churn = Jaccard distance of the served sets")
+	t.Note("grid derived from the mechanism registry; combos outside a declared domain are skipped")
+	return t
+}
+
+// runCold evaluates one mechanism cold over a network.
+func runCold(nw *wireless.Network, name string, u mech.Profile) mech.Outcome {
+	m, err := query.NewEvaluator(nw).Mechanism(name)
+	if err != nil {
+		panic(err) // the probe admitted this combo; same class here
+	}
+	return m.Run(u)
+}
+
+// perturb applies one ε-scaled delta through the lifecycle ops:
+// Euclidean networks get a mobility step on every non-source station
+// (gaussian, stddev ε × coordinate spread); abstract ones get
+// independent relative cost noise c · (1 + ε·U[−1,1]) on every edge.
+func perturb(rng *rand.Rand, nw *wireless.Network, eps float64) error {
+	if nw.IsEuclidean() {
+		spread := 0.0
+		pts := nw.Points()
+		for d := 0; d < nw.Dim(); d++ {
+			lo, hi := pts[0][d], pts[0][d]
+			for _, p := range pts {
+				if p[d] < lo {
+					lo = p[d]
+				}
+				if p[d] > hi {
+					hi = p[d]
+				}
+			}
+			if s := hi - lo; s > spread {
+				spread = s
+			}
+		}
+		if spread == 0 {
+			spread = 1
+		}
+		for s := 0; s < nw.N(); s++ {
+			if s == nw.Source() {
+				continue
+			}
+			p := pts[s].Clone()
+			for d := range p {
+				p[d] += rng.NormFloat64() * eps * spread
+			}
+			if err := nw.MoveStation(s, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < nw.N(); i++ {
+		for j := i + 1; j < nw.N(); j++ {
+			c := nw.C(i, j) * (1 + eps*(rng.Float64()*2-1))
+			if err := nw.SetCost(i, j, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// shareDrift is the L1 distance between two share vectors, normalized
+// by the base outcome's total charge (0/0 reads as perfectly stable).
+func shareDrift(before, after mech.Outcome) float64 {
+	total := 0.0
+	for _, x := range before.Shares {
+		total += math.Abs(x)
+	}
+	agents := map[int]bool{}
+	for a := range before.Shares {
+		agents[a] = true
+	}
+	for a := range after.Shares {
+		agents[a] = true
+	}
+	diff := 0.0
+	for a := range agents {
+		diff += math.Abs(before.Shares[a] - after.Shares[a])
+	}
+	if diff == 0 {
+		return 0
+	}
+	if total == 0 {
+		return 1 // charged nobody before, somebody after: maximal instability
+	}
+	return diff / total
+}
+
+// servedChurn is the Jaccard distance of the served sets.
+func servedChurn(before, after []int) float64 {
+	a := map[int]bool{}
+	for _, r := range before {
+		a[r] = true
+	}
+	inter, union := 0, len(a)
+	for _, r := range after {
+		if a[r] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}

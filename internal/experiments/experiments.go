@@ -103,6 +103,7 @@ var All = []Experiment{
 	{ID: "E11", Name: "Thms 3.6/3.7: JV moat mechanism (weights ablation A3)", Run: E11MoatMechanism},
 	{ID: "E12", Name: "Multicast heuristics vs exact optimum (who wins where)", Run: E12MulticastHeuristics},
 	{ID: "E13", Name: "Scenario sweep: mechanisms × topology families", Run: E13ScenarioSweep},
+	{ID: "E14", Name: "Lifecycle: cost-share stability under ε-perturbations", Run: E14ShareStability},
 	{ID: "A1", Name: "Ablation: universal tree choice SPT vs MST", Run: A01TreeChoice},
 	{ID: "A4", Name: "Ablation: efficiency loss, Shapley vs incremental [38]", Run: A04EfficiencyLoss},
 }

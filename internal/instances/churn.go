@@ -1,0 +1,336 @@
+package instances
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wmcs/internal/geom"
+	"wmcs/internal/wireless"
+)
+
+// This file is the churn side of the instances registry: the Update
+// delta type the serving layer's PATCH endpoint decodes, and a registry
+// of churn models — deterministic generators of update streams that
+// model how real ad-hoc networks drift (node mobility, battery drain,
+// stations flapping). The scenario registry answers "what does a
+// deployment look like"; the churn registry answers "how does it
+// change".
+
+// CostSet is one symmetric cost assignment c(i, j) = c(j, i) = cost.
+type CostSet struct {
+	I    int     `json:"i"`
+	J    int     `json:"j"`
+	Cost float64 `json:"cost"`
+}
+
+// MoveOp relocates one station of a Euclidean network; the cost row
+// follows from the power model.
+type MoveOp struct {
+	Station int       `json:"station"`
+	Point   []float64 `json:"point"`
+}
+
+// Update is one atomic network delta — the wire form of
+// PATCH /v1/networks/{name} and the unit a churn model emits. Ops apply
+// in field order (costs, moves, disables, enables); an op that fails
+// validation fails the whole update with nothing applied (the versioned
+// evaluator mutates a private copy and discards it on error).
+type Update struct {
+	SetCosts []CostSet `json:"set_costs,omitempty"`
+	Moves    []MoveOp  `json:"move,omitempty"`
+	Disable  []int     `json:"disable,omitempty"`
+	Enable   []int     `json:"enable,omitempty"`
+}
+
+// Empty reports whether the update carries no ops.
+func (u Update) Empty() bool {
+	return len(u.SetCosts) == 0 && len(u.Moves) == 0 && len(u.Disable) == 0 && len(u.Enable) == 0
+}
+
+// Ops returns the op count (each bumps the network version by one when
+// the whole update applies).
+func (u Update) Ops() int {
+	return len(u.SetCosts) + len(u.Moves) + len(u.Disable) + len(u.Enable)
+}
+
+// Apply performs the update's ops on nw in order, stopping at the first
+// error. Callers needing atomicity apply to a throwaway
+// wireless.(*Network).Snapshot and publish only on success — which is
+// exactly what query.VersionedEvaluator.Update does.
+func (u Update) Apply(nw *wireless.Network) error {
+	for _, c := range u.SetCosts {
+		if err := nw.SetCost(c.I, c.J, c.Cost); err != nil {
+			return err
+		}
+	}
+	for _, m := range u.Moves {
+		if err := nw.MoveStation(m.Station, geom.Point(m.Point)); err != nil {
+			return err
+		}
+	}
+	for _, s := range u.Disable {
+		if err := nw.SetStationEnabled(s, false); err != nil {
+			return err
+		}
+	}
+	for _, s := range u.Enable {
+		if err := nw.SetStationEnabled(s, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Churner draws a deterministic stream of updates for one network. Next
+// returns a delta valid against the network state reached by applying
+// every previously returned delta in order (the churner tracks that
+// state internally); callers replaying the stream elsewhere apply the
+// same deltas to their own replica. Churners are not safe for
+// concurrent use.
+type Churner interface {
+	Next() Update
+}
+
+// ChurnOptions tune a churn model; zero values select defaults.
+type ChurnOptions struct {
+	// Stations is how many stations one mobility update moves
+	// (default 2).
+	Stations int
+	// Step is the mobility random-walk step — the per-coordinate
+	// gaussian stddev as a fraction of the deployment's coordinate
+	// spread (default 0.05: gentle drift).
+	Step float64
+	// Drain bounds the battery model's multiplicative cost growth per
+	// update: a draining station's costs scale by a factor uniform in
+	// [1, 1+Drain] (default 0.25).
+	Drain float64
+	// FlapProb is the battery model's probability that an update flaps
+	// a station (disable, or re-enable a dead one) instead of draining
+	// (default 0.2).
+	FlapProb float64
+}
+
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if o.Stations <= 0 {
+		o.Stations = 2
+	}
+	if o.Step <= 0 {
+		o.Step = 0.05
+	}
+	if o.Drain <= 0 {
+		o.Drain = 0.25
+	}
+	if o.FlapProb <= 0 {
+		o.FlapProb = 0.2
+	}
+	return o
+}
+
+// ChurnModel is a named churn family in the registry. Applies reports
+// whether the model can drive the given network class; New builds a
+// churner over it (the network is snapshotted — later mutations of the
+// caller's copy do not affect the stream).
+type ChurnModel struct {
+	Name    string
+	Desc    string
+	Applies func(nw *wireless.Network) bool
+	New     func(rng *rand.Rand, nw *wireless.Network, opt ChurnOptions) Churner
+}
+
+// churnModels is the registry, in presentation order.
+var churnModels = []ChurnModel{
+	{
+		Name: "mobility", Desc: "random-walk station drift (Euclidean networks): moves re-derive cost rows from the power model",
+		Applies: func(nw *wireless.Network) bool { return nw.IsEuclidean() },
+		New: func(rng *rand.Rand, nw *wireless.Network, opt ChurnOptions) Churner {
+			return newMobilityChurner(rng, nw, opt.withDefaults())
+		},
+	},
+	{
+		Name: "battery", Desc: "battery-drain decay (abstract networks): per-station multiplicative cost growth, occasional station flaps",
+		Applies: func(nw *wireless.Network) bool { return !nw.IsEuclidean() },
+		New: func(rng *rand.Rand, nw *wireless.Network, opt ChurnOptions) Churner {
+			return newBatteryChurner(rng, nw, opt.withDefaults())
+		},
+	},
+}
+
+// ChurnModels returns the registry in presentation order (shared slice,
+// do not modify).
+func ChurnModels() []ChurnModel { return churnModels }
+
+// ChurnModelNames lists the registry names in order.
+func ChurnModelNames() []string {
+	names := make([]string, len(churnModels))
+	for i, m := range churnModels {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ChurnByName looks a churn model up by its registry name.
+func ChurnByName(name string) (ChurnModel, error) {
+	for _, m := range churnModels {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return ChurnModel{}, fmt.Errorf("instances: unknown churn model %q (have %v)", name, ChurnModelNames())
+}
+
+// ChurnModelFor picks the first registry model whose class predicate
+// admits nw — how the workload driver's "auto" selection resolves.
+func ChurnModelFor(nw *wireless.Network) ChurnModel {
+	for _, m := range churnModels {
+		if m.Applies(nw) {
+			return m
+		}
+	}
+	// Unreachable: mobility+battery partition the class space.
+	panic("instances: no churn model applies")
+}
+
+// mobilityChurner random-walks station positions. Each update moves
+// opt.Stations distinct stations by a gaussian step scaled to the
+// deployment's initial coordinate spread, clamped to the initial
+// bounding box so the instance cannot drift off its scenario's scale.
+type mobilityChurner struct {
+	rng   *rand.Rand
+	state *wireless.Network
+	opt   ChurnOptions
+	lo    geom.Point // initial bounding box
+	hi    geom.Point
+	step  float64 // absolute per-coordinate stddev
+}
+
+func newMobilityChurner(rng *rand.Rand, nw *wireless.Network, opt ChurnOptions) *mobilityChurner {
+	state := nw.Snapshot()
+	dim := state.Dim()
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for d := 0; d < dim; d++ {
+		lo[d], hi[d] = state.Points()[0][d], state.Points()[0][d]
+	}
+	spread := 0.0
+	for _, p := range state.Points() {
+		for d, v := range p {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	for d := 0; d < dim; d++ {
+		if s := hi[d] - lo[d]; s > spread {
+			spread = s
+		}
+	}
+	if spread == 0 {
+		spread = 1
+	}
+	return &mobilityChurner{
+		rng: rng, state: state, opt: opt,
+		lo: lo, hi: hi, step: opt.Step * spread,
+	}
+}
+
+func (c *mobilityChurner) Next() Update {
+	n := c.state.N()
+	k := c.opt.Stations
+	if k > n {
+		k = n
+	}
+	// Distinct stations, drawn deterministically; disabled stations
+	// cannot move (their rows are frozen at DisabledCost).
+	moved := make(map[int]bool, k)
+	var up Update
+	for len(up.Moves) < k {
+		s := c.rng.Intn(n)
+		if moved[s] || !c.state.StationEnabled(s) {
+			if len(moved) >= n {
+				break
+			}
+			moved[s] = true
+			continue
+		}
+		moved[s] = true
+		p := c.state.Points()[s].Clone()
+		for d := range p {
+			p[d] += c.rng.NormFloat64() * c.step
+			if p[d] < c.lo[d] {
+				p[d] = c.lo[d]
+			}
+			if p[d] > c.hi[d] {
+				p[d] = c.hi[d]
+			}
+		}
+		up.Moves = append(up.Moves, MoveOp{Station: s, Point: p})
+	}
+	if err := up.Apply(c.state); err != nil {
+		// Ops were generated against c.state; failure is a bug.
+		panic(fmt.Sprintf("instances: mobility churner emitted an invalid update: %v", err))
+	}
+	return up
+}
+
+// batteryChurner models radio decay on abstract symmetric networks:
+// most updates pick one draining non-source station and scale its whole
+// cost row up by a factor uniform in [1, 1+Drain]; with probability
+// FlapProb the update instead flaps a station — disabling a live one,
+// or re-enabling a dead one when any exists.
+type batteryChurner struct {
+	rng   *rand.Rand
+	state *wireless.Network
+	opt   ChurnOptions
+}
+
+func newBatteryChurner(rng *rand.Rand, nw *wireless.Network, opt ChurnOptions) *batteryChurner {
+	return &batteryChurner{rng: rng, state: nw.Snapshot(), opt: opt}
+}
+
+// pickStation draws a uniformly random non-source station with the
+// requested enabled state; ok is false when none exists.
+func (c *batteryChurner) pickStation(enabled bool) (int, bool) {
+	var candidates []int
+	for s := 0; s < c.state.N(); s++ {
+		if s != c.state.Source() && c.state.StationEnabled(s) == enabled {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	return candidates[c.rng.Intn(len(candidates))], true
+}
+
+func (c *batteryChurner) Next() Update {
+	var up Update
+	if c.rng.Float64() < c.opt.FlapProb {
+		// Flap: prefer reviving a dead station (keeps the long-run
+		// enabled population stable), otherwise kill a live one.
+		if s, ok := c.pickStation(false); ok {
+			up.Enable = []int{s}
+		} else if s, ok := c.pickStation(true); ok {
+			up.Disable = []int{s}
+		}
+	}
+	if up.Empty() {
+		s, ok := c.pickStation(true)
+		if !ok {
+			return up // every non-source station is dead; nothing to drain
+		}
+		f := 1 + c.rng.Float64()*c.opt.Drain
+		for j := 0; j < c.state.N(); j++ {
+			if j == s || !c.state.StationEnabled(j) {
+				continue
+			}
+			up.SetCosts = append(up.SetCosts, CostSet{I: s, J: j, Cost: c.state.C(s, j) * f})
+		}
+	}
+	if err := up.Apply(c.state); err != nil {
+		panic(fmt.Sprintf("instances: battery churner emitted an invalid update: %v", err))
+	}
+	return up
+}

@@ -1,0 +1,173 @@
+package instances
+
+import (
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/wireless"
+)
+
+func churnNet(t *testing.T, scenario string, seed int64) *wireless.Network {
+	t.Helper()
+	nw, err := Spec{Name: "c", Scenario: scenario, N: 10, Alpha: 2, Seed: seed}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestChurnStreamsAreDeterministicAndReplayable: two churners with
+// equal seeds emit equal streams, and replaying a stream against an
+// independent replica reproduces the churner's internal state — cost
+// matrix, versions and all. That replay property is what the workload
+// driver's generation-pinned verification rests on.
+func TestChurnStreamsAreDeterministicAndReplayable(t *testing.T) {
+	for _, tc := range []struct{ model, scenario string }{
+		{"mobility", "uniform"},
+		{"battery", "symmetric"},
+	} {
+		m, err := ChurnByName(tc.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := churnNet(t, tc.scenario, 77)
+		if !m.Applies(nw) {
+			t.Fatalf("%s does not apply to %s", tc.model, tc.scenario)
+		}
+		replica := nw.Snapshot()
+		a := m.New(rand.New(rand.NewSource(5)), nw, ChurnOptions{})
+		b := m.New(rand.New(rand.NewSource(5)), nw, ChurnOptions{})
+		for step := 0; step < 12; step++ {
+			ua, ub := a.Next(), b.Next()
+			if ua.Ops() != ub.Ops() {
+				t.Fatalf("%s step %d: streams diverge (%d vs %d ops)", tc.model, step, ua.Ops(), ub.Ops())
+			}
+			if ua.Empty() {
+				t.Fatalf("%s step %d: empty update", tc.model, step)
+			}
+			if err := ua.Apply(replica); err != nil {
+				t.Fatalf("%s step %d: replay failed: %v", tc.model, step, err)
+			}
+		}
+		if replica.Version() == 0 {
+			t.Fatalf("%s: replay did not advance the version", tc.model)
+		}
+		// The churner's internal state and the replayed replica agree.
+		inner := probeChurnState(a)
+		if inner.Version() != replica.Version() {
+			t.Fatalf("%s: churner at version %d, replica at %d", tc.model, inner.Version(), replica.Version())
+		}
+		for i := 0; i < replica.N(); i++ {
+			for j := 0; j < replica.N(); j++ {
+				if inner.C(i, j) != replica.C(i, j) {
+					t.Fatalf("%s: cost (%d,%d) diverged: %g vs %g", tc.model, i, j, inner.C(i, j), replica.C(i, j))
+				}
+			}
+		}
+	}
+}
+
+// probeChurnState reaches into a churner for its tracked network.
+func probeChurnState(c Churner) *wireless.Network {
+	switch c := c.(type) {
+	case *mobilityChurner:
+		return c.state
+	case *batteryChurner:
+		return c.state
+	}
+	panic("unknown churner type")
+}
+
+// TestChurnModelForPartitionsClasses: auto-selection picks mobility for
+// Euclidean deployments and battery for abstract ones.
+func TestChurnModelForPartitionsClasses(t *testing.T) {
+	if m := ChurnModelFor(churnNet(t, "uniform", 1)); m.Name != "mobility" {
+		t.Fatalf("uniform -> %s", m.Name)
+	}
+	if m := ChurnModelFor(churnNet(t, "symmetric", 1)); m.Name != "battery" {
+		t.Fatalf("symmetric -> %s", m.Name)
+	}
+	if _, err := ChurnByName("bogus"); err == nil {
+		t.Fatal("unknown churn model accepted")
+	}
+}
+
+// TestMobilityStaysInBoundingBox: drifted coordinates stay within the
+// deployment's initial bounding box (the scenario's scale).
+func TestMobilityStaysInBoundingBox(t *testing.T) {
+	nw := churnNet(t, "clustered", 9)
+	lo := []float64{nw.Points()[0][0], nw.Points()[0][1]}
+	hi := append([]float64(nil), lo...)
+	for _, p := range nw.Points() {
+		for d, v := range p {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	c := ChurnModels()[0].New(rand.New(rand.NewSource(3)), nw, ChurnOptions{Step: 0.5})
+	replica := nw.Snapshot()
+	for step := 0; step < 20; step++ {
+		if err := c.Next().Apply(replica); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s, p := range replica.Points() {
+		for d, v := range p {
+			if v < lo[d] || v > hi[d] {
+				t.Fatalf("station %d drifted outside the box: coord %d = %g not in [%g, %g]", s, d, v, lo[d], hi[d])
+			}
+		}
+	}
+}
+
+// TestBatteryFlapsAndDrains: over a long stream the battery model both
+// drains (costs grow) and flaps (stations disable/enable), and never
+// emits an invalid op.
+func TestBatteryFlapsAndDrains(t *testing.T) {
+	nw := churnNet(t, "symmetric", 21)
+	total0 := 0.0
+	for i := 0; i < nw.N(); i++ {
+		for j := i + 1; j < nw.N(); j++ {
+			total0 += nw.C(i, j)
+		}
+	}
+	c := ChurnByNameMust(t, "battery").New(rand.New(rand.NewSource(8)), nw, ChurnOptions{FlapProb: 0.5})
+	replica := nw.Snapshot()
+	flaps := 0
+	for step := 0; step < 40; step++ {
+		u := c.Next()
+		flaps += len(u.Disable) + len(u.Enable)
+		if err := u.Apply(replica); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if flaps == 0 {
+		t.Fatal("no flaps in 40 updates at FlapProb 0.5")
+	}
+	grew := false
+	for i := 0; i < replica.N() && !grew; i++ {
+		for j := i + 1; j < replica.N(); j++ {
+			if replica.StationEnabled(i) && replica.StationEnabled(j) && replica.C(i, j) > nw.C(i, j) {
+				grew = true
+				break
+			}
+		}
+	}
+	if !grew {
+		t.Fatal("no cost drained upward in 40 updates")
+	}
+}
+
+// ChurnByNameMust is the test-side lookup helper.
+func ChurnByNameMust(t *testing.T, name string) ChurnModel {
+	t.Helper()
+	m, err := ChurnByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,131 @@
+package query
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wmcs/internal/wireless"
+)
+
+// Versioned is one immutable network state and the evaluator serving
+// it: the pair an atomic load of VersionedEvaluator.Current returns.
+// Readers that grab a Versioned keep a consistent view for as long as
+// they hold it — the network snapshot inside is never mutated again —
+// so a query admitted against version v evaluates against exactly
+// version v's costs even if a dozen updates land meanwhile.
+type Versioned struct {
+	// Ev is the evaluator over this version's frozen network snapshot.
+	Ev *Evaluator
+	// Version is the network's wireless.(*Network).Version() at the
+	// moment this state was frozen.
+	Version uint64
+}
+
+// VersionedEvaluator is the live-network face of the query engine
+// (DESIGN.md §10): it owns a master copy of a mutable network and, per
+// version, an immutable {snapshot, evaluator} pair. Reads are lock-free
+// (one atomic pointer load); updates serialize on a mutex, mutate a
+// private copy, rebuild the evaluator over it, warm the mechanisms the
+// outgoing evaluator had built, and atomically swap the pair in.
+// In-flight queries drain against the evaluator they were admitted
+// with — an update never invalidates, blocks, or tears them.
+type VersionedEvaluator struct {
+	// mu serializes Update; Current is deliberately not behind it.
+	mu   sync.Mutex
+	opts []Option
+	// live is the master network state. It is only read and replaced
+	// inside Update (under mu); the evaluator in cur always holds the
+	// same state, reachable lock-free.
+	live *wireless.Network
+	cur  atomic.Pointer[Versioned]
+}
+
+// NewVersioned wraps a network in a versioned evaluator. The network is
+// snapshotted at entry, so the caller's copy can be mutated (or
+// discarded) freely afterwards without affecting served results.
+func NewVersioned(nw *wireless.Network, opts ...Option) *VersionedEvaluator {
+	live := nw.Snapshot()
+	v := &VersionedEvaluator{opts: opts, live: live}
+	v.cur.Store(&Versioned{Ev: NewEvaluator(live, opts...), Version: live.Version()})
+	return v
+}
+
+// Current returns the current {evaluator, version} pair in one atomic
+// load. Callers serving a query must resolve Current once and use both
+// fields from the same pair — reading the evaluator and the version in
+// separate calls can interleave with an update and mislabel results.
+func (v *VersionedEvaluator) Current() *Versioned { return v.cur.Load() }
+
+// Evaluator returns the current evaluator (shorthand for callers that
+// do not need the version).
+func (v *VersionedEvaluator) Evaluator() *Evaluator { return v.Current().Ev }
+
+// Version returns the current network version.
+func (v *VersionedEvaluator) Version() uint64 { return v.Current().Version }
+
+// Network returns the current version's frozen network snapshot. It is
+// shared with the serving evaluator: treat it as read-only (mutate
+// through Update only).
+func (v *VersionedEvaluator) Network() *wireless.Network { return v.Current().Ev.Network() }
+
+// Update applies mutate to a private copy of the live network and, if
+// the copy's version advanced, swaps in a freshly built evaluator over
+// it. The rules:
+//
+//   - mutate sees a snapshot: if it returns an error, nothing is
+//     published — no version bump, no swap, and any partial mutations
+//     it made die with the discarded copy (updates are atomic);
+//   - a successful mutate that bumps nothing (an empty delta) is a
+//     no-op: oldVer == newVer and the current pair is untouched;
+//   - otherwise the new evaluator is *warmed* before the swap: every
+//     mechanism name the outgoing evaluator had built is rebuilt over
+//     the new substrate (in sorted name order), so the serving path
+//     never pays first-query substrate-construction latency right
+//     after an update. rebuild is the construction+warm wall clock —
+//     the figure the serving layer histograms.
+//
+// Concurrent readers keep whatever pair they already resolved; the swap
+// only changes what later Current calls observe.
+func (v *VersionedEvaluator) Update(mutate func(*wireless.Network) error) (oldVer, newVer uint64, rebuild time.Duration, err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	oldVer = v.live.Version()
+	work := v.live.Snapshot()
+	if err := mutate(work); err != nil {
+		return oldVer, oldVer, 0, err
+	}
+	newVer = work.Version()
+	if newVer == oldVer {
+		return oldVer, oldVer, 0, nil
+	}
+	start := time.Now()
+	next := NewEvaluator(work, v.opts...)
+	for _, name := range v.cur.Load().Ev.BuiltNames() {
+		if _, err := next.Mechanism(name); err != nil {
+			// Mutation ops preserve the network class, so a name the old
+			// evaluator built can only fail here if mutate swapped in an
+			// impossible state — refuse to publish it.
+			return oldVer, oldVer, 0, err
+		}
+	}
+	rebuild = time.Since(start)
+	v.live = work
+	v.cur.Store(&Versioned{Ev: next, Version: newVer})
+	return oldVer, newVer, rebuild, nil
+}
+
+// BuiltNames lists, sorted, the mechanism names this evaluator has
+// built so far — the working set a versioned swap warms on the
+// replacement evaluator.
+func (e *Evaluator) BuiltNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.mechs))
+	for name := range e.mechs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wmcs/internal/graph"
+	"wmcs/internal/mech"
+	"wmcs/internal/wireless"
+)
+
+func symNet(n int, seed int64) *wireless.Network {
+	rng := rand.New(rand.NewSource(seed))
+	m := graph.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 0.5+rng.Float64()*9.5)
+		}
+	}
+	return wireless.NewSymmetric(m, 0)
+}
+
+func TestVersionedUpdateSwapsAndDrains(t *testing.T) {
+	nw := symNet(8, 3)
+	v := NewVersioned(nw)
+	u := mech.RandomProfile(rand.New(rand.NewSource(9)), 8, 50)
+
+	before := v.Current()
+	o1, err := before.Ev.Evaluate("universal-shapley", nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldVer, newVer, _, err := v.Update(func(nw *wireless.Network) error {
+		return nw.SetCost(1, 2, 0.01)
+	})
+	if err != nil || oldVer != 0 || newVer != 1 {
+		t.Fatalf("Update: old=%d new=%d err=%v", oldVer, newVer, err)
+	}
+	after := v.Current()
+	if after == before || after.Version != 1 {
+		t.Fatalf("swap missing: %+v", after)
+	}
+	// The old pair still answers, identically to before the update: an
+	// in-flight query that resolved the pair pre-swap drains untouched.
+	o1b, err := before.Ev.Evaluate("universal-shapley", nil, u)
+	if err != nil || !reflect.DeepEqual(o1, o1b) {
+		t.Fatalf("old evaluator drifted after swap: %v / %+v vs %+v", err, o1, o1b)
+	}
+	// The new pair answers against the mutated network: byte-for-byte
+	// what a cold evaluator over the same mutated snapshot computes.
+	o2, err := after.Ev.Evaluate("universal-shapley", nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewEvaluator(after.Ev.Network()).Evaluate("universal-shapley", nil, u)
+	if err != nil || !reflect.DeepEqual(o2, cold) {
+		t.Fatalf("swapped evaluator differs from cold rebuild: %v", err)
+	}
+	if reflect.DeepEqual(o1, o2) {
+		t.Fatal("update had no observable effect (cost change chosen too small?)")
+	}
+}
+
+func TestVersionedUpdateIsAtomicOnError(t *testing.T) {
+	v := NewVersioned(symNet(6, 4))
+	before := v.Current()
+	sentinel := errors.New("boom")
+	oldVer, newVer, _, err := v.Update(func(nw *wireless.Network) error {
+		// Partial mutation, then failure: nothing may be published.
+		if err := nw.SetCost(1, 2, 3); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || oldVer != newVer {
+		t.Fatalf("Update: old=%d new=%d err=%v", oldVer, newVer, err)
+	}
+	if cur := v.Current(); cur != before {
+		t.Fatal("failed update swapped the pair")
+	}
+	if c := v.Network().C(1, 2); c == 3 {
+		t.Fatal("partial mutation leaked into the published network")
+	}
+}
+
+func TestVersionedNoOpUpdateKeepsPair(t *testing.T) {
+	v := NewVersioned(symNet(6, 5))
+	before := v.Current()
+	oldVer, newVer, rebuild, err := v.Update(func(nw *wireless.Network) error { return nil })
+	if err != nil || oldVer != newVer || rebuild != 0 {
+		t.Fatalf("no-op update: old=%d new=%d rebuild=%v err=%v", oldVer, newVer, rebuild, err)
+	}
+	if v.Current() != before {
+		t.Fatal("no-op update swapped the pair")
+	}
+}
+
+func TestVersionedWarmRebuild(t *testing.T) {
+	v := NewVersioned(symNet(7, 6))
+	u := mech.RandomProfile(rand.New(rand.NewSource(2)), 7, 50)
+	for _, name := range []string{"universal-shapley", "jv-moat"} {
+		if _, err := v.Evaluator().Evaluate(name, nil, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := v.Update(func(nw *wireless.Network) error {
+		return nw.SetCost(2, 3, 1.5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := v.Evaluator().BuiltNames()
+	want := []string{"jv-moat", "universal-shapley"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("warmed mechanisms %v, want %v", got, want)
+	}
+}
+
+func TestVersionedCallerCannotMutateThroughInput(t *testing.T) {
+	nw := symNet(6, 7)
+	v := NewVersioned(nw)
+	if err := nw.SetCost(1, 2, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v.Network().C(1, 2) == 42 {
+		t.Fatal("caller mutation reached the versioned evaluator's snapshot")
+	}
+	if v.Version() != 0 {
+		t.Fatalf("version %d, want 0", v.Version())
+	}
+}

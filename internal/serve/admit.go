@@ -22,11 +22,13 @@ var errInternal = errors.New("internal error")
 // degenerates to batch size 1 with no added latency (the dispatcher
 // blocks on the channel, not on a timer).
 //
-// Tasks carry the NetworkEntry they were admitted with: an entry
-// evicted mid-flight still answers (correctly, for the network the
-// client addressed), and its result is cached under that registration's
-// generation prefix — unreachable by any future request, so a
-// re-registered name can never serve a predecessor's bytes.
+// Tasks carry the NetworkEntry *and* the {evaluator, version} pair they
+// were admitted with: an entry evicted or updated mid-flight still
+// answers (correctly, for the network state the client was admitted
+// against), and its result is cached under that registration's
+// generation-and-version prefix — unreachable by any future request, so
+// neither a re-registered name nor an updated network can ever serve a
+// predecessor's bytes.
 type batcher struct {
 	cache   *Cache
 	stats   *Stats
@@ -41,8 +43,14 @@ type batcher struct {
 
 type admitTask struct {
 	entry *NetworkEntry
+	// ev and ver are the consistent pair resolved at admission: the
+	// evaluator the task runs on and the network version its cache key
+	// encodes. Both come from one atomic Current() load, so a task can
+	// never cache bytes computed on one version under another's key.
+	ev    *query.Evaluator
+	ver   uint64
 	canon CanonRequest
-	key   string // full cache key (generation prefix + canon.Key)
+	key   string // full cache key (generation/version prefix + canon.Key)
 	reply chan taskResult
 }
 
@@ -71,8 +79,8 @@ func newBatcher(cache *Cache, stats *Stats, workers, maxBatch int) *batcher {
 // do evaluates one canonical query through the admission queue and
 // blocks for its result. Callers sit behind the singleflight group, so
 // at most one task per distinct key is in the queue at a time.
-func (b *batcher) do(entry *NetworkEntry, c CanonRequest, key string) ([]byte, error) {
-	t := &admitTask{entry: entry, canon: c, key: key, reply: make(chan taskResult, 1)}
+func (b *batcher) do(entry *NetworkEntry, ev *query.Evaluator, ver uint64, c CanonRequest, key string) ([]byte, error) {
+	t := &admitTask{entry: entry, ev: ev, ver: ver, canon: c, key: key, reply: make(chan taskResult, 1)}
 	select {
 	case b.tasks <- t:
 	case <-b.quit:
@@ -137,31 +145,35 @@ func (b *batcher) failQueued() {
 	}
 }
 
-// run executes one dispatch round: group by admitted entry, evaluate
-// each group as one batch on the engine pool, encode, fill the cache,
-// reply.
+// run executes one dispatch round: group by the evaluator tasks were
+// admitted with (one per live network version), evaluate each group as
+// one batch on the engine pool, encode, fill the cache, reply. Grouping
+// by evaluator rather than entry matters under churn: tasks admitted on
+// either side of an update carry different evaluators and must not
+// share a batch.
 func (b *batcher) run(batch []*admitTask) {
 	b.stats.Batches.Add(1)
 	b.stats.BatchedQueries.Add(uint64(len(batch)))
-	byEntry := make(map[*NetworkEntry][]*admitTask)
-	var order []*NetworkEntry
+	byEv := make(map[*query.Evaluator][]*admitTask)
+	var order []*query.Evaluator
 	for _, t := range batch {
-		if _, ok := byEntry[t.entry]; !ok {
-			order = append(order, t.entry)
+		if _, ok := byEv[t.ev]; !ok {
+			order = append(order, t.ev)
 		}
-		byEntry[t.entry] = append(byEntry[t.entry], t)
+		byEv[t.ev] = append(byEv[t.ev], t)
 	}
-	for _, entry := range order {
-		b.runGroup(entry, byEntry[entry])
+	for _, ev := range order {
+		b.runGroup(ev, byEv[ev])
 	}
 }
 
-// runGroup evaluates one network's share of a dispatch round. It runs
-// on the dispatcher goroutine, where net/http's per-handler recover
-// cannot reach — an uncaught panic here kills the whole daemon — so any
-// panic out of evaluation or encoding is converted into an error reply
-// for every task still waiting.
-func (b *batcher) runGroup(entry *NetworkEntry, group []*admitTask) {
+// runGroup evaluates one network version's share of a dispatch round.
+// It runs on the dispatcher goroutine, where net/http's per-handler
+// recover cannot reach — an uncaught panic here kills the whole daemon
+// — so any panic out of evaluation or encoding is converted into an
+// error reply for every task still waiting.
+func (b *batcher) runGroup(ev *query.Evaluator, group []*admitTask) {
+	entry := group[0].entry // one evaluator never spans entries
 	replied := 0
 	defer func() {
 		if r := recover(); r != nil {
@@ -175,7 +187,7 @@ func (b *batcher) runGroup(entry *NetworkEntry, group []*admitTask) {
 	for i, t := range group {
 		reqs[i] = query.Request{Mech: t.canon.Mech, Profile: t.canon.Profile}
 	}
-	resps := entry.Ev.EvaluateBatch(reqs, b.workers)
+	resps := ev.EvaluateBatch(reqs, b.workers)
 	for i, t := range group {
 		var res taskResult
 		if resps[i].Err != nil {
@@ -184,16 +196,17 @@ func (b *batcher) runGroup(entry *NetworkEntry, group []*admitTask) {
 			res.err = fmt.Errorf("%w: %v", errInternal, err)
 		} else {
 			b.cache.Put(t.key, body)
-			if entry.evicted.Load() {
-				// The entry left the registry while we were evaluating.
-				// Our Put may have landed after the evict handler's
-				// DeletePrefix, which would strand an entry no future
-				// request can reach (the generation is retired) in LRU
-				// capacity forever. Deleting our own key closes the
-				// race: if we instead observed evicted == false, the
-				// flag was set after our Put and the handler's
-				// DeletePrefix — which runs after the flag store — is
-				// guaranteed to sweep it.
+			if t.entry.evicted.Load() || t.entry.Ev.Version() != t.ver {
+				// The entry left the registry — or its network was
+				// updated past the version we were admitted with — while
+				// we were evaluating. Our Put may have landed after the
+				// handler's DeletePrefix for our retired prefix, which
+				// would strand an entry no future request can reach in
+				// LRU capacity forever. Deleting our own key closes the
+				// race: if we instead observed evicted == false and our
+				// own version, the flip happened after our Put, and the
+				// handler's DeletePrefix — which runs after the flip —
+				// is guaranteed to sweep it.
 				b.cache.Delete(t.key)
 			}
 			res.body = body

@@ -40,13 +40,23 @@ type CacheStats struct {
 	Capacity int    `json:"capacity"`
 }
 
-// NewCache builds a cache of about `capacity` entries over `shards`
-// shards (rounded up to a power of two; defaults: 4096 entries, 16
-// shards). Capacity < 0 disables caching entirely.
+// DefaultCacheCapacity is the result-cache size callers select by not
+// caring: the sentinel the server substitutes for an unset (zero)
+// Options.CacheCapacity and the default of wmcsd's -cache flag. It is
+// distinct from 0, which NewCache honors literally as "disabled".
+const DefaultCacheCapacity = 4096
+
+// NewCache builds a cache of exactly `capacity` entries over `shards`
+// shards (rounded up to a power of two; defaults: 16 shards). Capacity
+// is distributed over the shards with the remainder spread one entry at
+// a time, so the shard capacities sum to the requested figure — Stats
+// reports the number asked for, and a 16-shard cache of capacity 100
+// holds at most 100 entries, not 112. Capacity <= 0 disables caching
+// entirely: the cache is valid and never stores anything (callers that
+// want the default must say DefaultCacheCapacity). A capacity smaller
+// than the shard count leaves some shards at zero — keys hashing there
+// are simply never cached.
 func NewCache(capacity, shards int) *Cache {
-	if capacity == 0 {
-		capacity = 4096
-	}
 	if capacity < 0 {
 		capacity = 0
 	}
@@ -58,9 +68,12 @@ func NewCache(capacity, shards int) *Cache {
 		n <<= 1
 	}
 	c := &Cache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
-	per := (capacity + n - 1) / n
+	per, extra := capacity/n, capacity%n
 	for i := range c.shards {
 		c.shards[i].capacity = per
+		if i < extra {
+			c.shards[i].capacity++
+		}
 		c.shards[i].entries = make(map[string]*list.Element)
 		c.shards[i].ll = list.New()
 	}

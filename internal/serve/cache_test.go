@@ -68,10 +68,57 @@ func TestCacheDelete(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	c := NewCache(-1, 8)
-	c.Put("k", []byte("v"))
-	if _, ok := c.Get("k"); ok {
-		t.Fatal("disabled cache stored an entry")
+	// Both negative and zero capacity disable storage: the doc comment
+	// has always promised "a zero-capacity cache is valid and never
+	// stores anything", but capacity 0 used to be silently rewritten to
+	// the 4096 default (callers wanting the default say
+	// DefaultCacheCapacity now).
+	for _, capacity := range []int{-1, 0} {
+		c := NewCache(capacity, 8)
+		c.Put("k", []byte("v"))
+		if _, ok := c.Get("k"); ok {
+			t.Fatalf("cache with capacity %d stored an entry", capacity)
+		}
+		if st := c.Stats(); st.Capacity != 0 || st.Len != 0 {
+			t.Fatalf("capacity %d: stats %+v", capacity, st)
+		}
+	}
+}
+
+// TestCacheExactCapacityDistribution: summed shard capacity must equal
+// the requested capacity for non-divisible splits — ceiling division
+// used to inflate a 16-shard capacity-100 cache to 112 entries (and
+// /statsz reported the inflated sum).
+func TestCacheExactCapacityDistribution(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards, wantShards int }{
+		{100, 16, 16}, // the motivating case: 16·⌈100/16⌉ = 112 before the fix
+		{5, 4, 4},     // capacity barely above the shard count
+		{3, 8, 8},     // capacity below the shard count: some shards hold nothing
+		{4096, 16, 16},
+		{101, 10, 16}, // shard rounding to a power of two keeps the sum exact
+	} {
+		c := NewCache(tc.capacity, tc.shards)
+		if got := len(c.shards); got != tc.wantShards {
+			t.Fatalf("NewCache(%d, %d): %d shards, want %d", tc.capacity, tc.shards, got, tc.wantShards)
+		}
+		sum := 0
+		for i := range c.shards {
+			sum += c.shards[i].capacity
+		}
+		if sum != tc.capacity {
+			t.Errorf("NewCache(%d, %d): shard capacities sum to %d", tc.capacity, tc.shards, sum)
+		}
+		if st := c.Stats(); st.Capacity != tc.capacity {
+			t.Errorf("NewCache(%d, %d): Stats().Capacity = %d", tc.capacity, tc.shards, st.Capacity)
+		}
+		// Overfill with distinct keys: residency can never exceed the
+		// requested capacity.
+		for i := 0; i < 4*tc.capacity+8; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+		}
+		if st := c.Stats(); st.Len > tc.capacity {
+			t.Errorf("NewCache(%d, %d): %d entries resident, want <= %d", tc.capacity, tc.shards, st.Len, tc.capacity)
+		}
 	}
 }
 

@@ -35,12 +35,21 @@ type Registry struct {
 type NetworkEntry struct {
 	Name string
 	Spec instances.Spec
-	Net  *wireless.Network
-	Ev   *query.Evaluator
+	// Net is the network as registered. Its station count, source and
+	// class are immutable under the lifecycle ops, so request
+	// validation and domain checks read it freely; *current* costs live
+	// in the versioned evaluator's snapshot (Ev.Network()), which PATCH
+	// updates swap out from under it.
+	Net *wireless.Network
+	// Ev is the versioned query engine: reads resolve one consistent
+	// {evaluator, version} pair, updates mutate a private copy and swap
+	// atomically while admitted queries drain on the pair they hold.
+	Ev *query.VersionedEvaluator
 	// Supported is the registry-derived mechanism set this network's
 	// domain admits, in registry order — exactly what /v1/networks
 	// advertises for the entry and what evaluation will not 422.
-	// Computed once at registration (the network class never changes).
+	// Computed once at registration (the network class never changes,
+	// updates included: mutation ops preserve it by construction).
 	Supported []string
 	supports  map[string]bool
 	// gen is this registration's unique generation number: cache keys
@@ -59,11 +68,16 @@ type NetworkEntry struct {
 // registry in the process.
 var registrations atomic.Uint64
 
-// cachePrefix is the prefix of every cache key derived from this
-// registration. It starts with name+0x1f so eviction by name prefix
-// (networkKeyPrefix) catches every generation of the name.
-func (e *NetworkEntry) cachePrefix() string {
-	return e.Name + "\x1f" + strconv.FormatUint(e.gen, 10) + "\x1f"
+// prefixFor is the cache-key prefix of one (registration, version)
+// generation: `name ␟ regGen.version ␟`. The registration half retires
+// the keys across evict → re-register cycles; the version half retires
+// them across in-place updates — either bump makes every older key
+// unreachable by construction, which is why invalidation is O(1) and
+// race-free (no purge has to *complete* before correctness holds; the
+// purges only reclaim space). It starts with name+0x1f so eviction by
+// name prefix (networkKeyPrefix) catches every generation of the name.
+func (e *NetworkEntry) prefixFor(version uint64) string {
+	return e.Name + "\x1f" + strconv.FormatUint(e.gen, 10) + "." + strconv.FormatUint(version, 10) + "\x1f"
 }
 
 // NewRegistry returns an empty registry.
@@ -88,7 +102,12 @@ func DefaultSpecs() []instances.Spec {
 // an existing name is an error (evict first — silent replacement would
 // let stale cache entries describe a different network).
 func (r *Registry) Register(name string, nw *wireless.Network) error {
-	return r.add(&NetworkEntry{Name: name, Net: nw, Ev: query.NewEvaluator(nw)})
+	// Validate the name before NewVersioned snapshots the network, so a
+	// rejected registration does no construction work.
+	if err := validateName(name); err != nil {
+		return err
+	}
+	return r.add(&NetworkEntry{Name: name, Net: nw, Ev: query.NewVersioned(nw)})
 }
 
 // RegisterSpec builds a scenario-registry spec and hosts the result
@@ -101,7 +120,7 @@ func (r *Registry) RegisterSpec(sp instances.Spec) error {
 	if err != nil {
 		return err
 	}
-	return r.add(&NetworkEntry{Name: sp.Name, Spec: sp, Net: nw, Ev: query.NewEvaluator(nw)})
+	return r.add(&NetworkEntry{Name: sp.Name, Spec: sp, Net: nw, Ev: query.NewVersioned(nw)})
 }
 
 // CheckMech reports whether the entry's network admits the named

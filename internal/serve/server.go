@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"wmcs/internal/instances"
@@ -13,8 +14,12 @@ import (
 
 // Options tune a Server; zero values select the defaults.
 type Options struct {
-	// CacheCapacity is the result cache size in entries (default 4096;
-	// negative disables caching).
+	// CacheCapacity is the result cache size in entries. 0 means unset
+	// and selects DefaultCacheCapacity (so the zero Options value keeps
+	// its sensible-server meaning); negative disables caching. Callers
+	// that need literal "no cache" semantics from a user-supplied 0
+	// (wmcsd's -cache flag) translate it to a negative before building
+	// Options.
 	CacheCapacity int
 	// CacheShards is the shard count (default 16, rounded up to a power
 	// of two).
@@ -41,6 +46,7 @@ type Options struct {
 //	GET    /v1/mechanisms        the mechanism registry: names, domains, guarantees
 //	GET    /v1/networks          hosted networks + the mechanisms each supports
 //	POST   /v1/networks          register a scenario spec (instances.Spec JSON)
+//	PATCH  /v1/networks/{name}   update a network in place (instances.Update JSON)
 //	DELETE /v1/networks/{name}   evict a network (and its cache entries)
 //	POST   /v1/evaluate          one EvalRequest -> EvalResponse
 //	POST   /v1/batch             []EvalRequest  -> []EvalResponse-or-error
@@ -61,6 +67,9 @@ func NewServer(reg *Registry, opts Options) *Server {
 	if opts.MaxBatchRequest <= 0 {
 		opts.MaxBatchRequest = 1024
 	}
+	if opts.CacheCapacity == 0 {
+		opts.CacheCapacity = DefaultCacheCapacity
+	}
 	s := &Server{
 		reg:   reg,
 		cache: NewCache(opts.CacheCapacity, opts.CacheShards),
@@ -74,6 +83,7 @@ func NewServer(reg *Registry, opts Options) *Server {
 	mux.HandleFunc("GET /v1/mechanisms", s.handleListMechanisms)
 	mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
 	mux.HandleFunc("POST /v1/networks", s.handleRegisterNetwork)
+	mux.HandleFunc("PATCH /v1/networks/{name}", s.handleUpdateNetwork)
 	mux.HandleFunc("DELETE /v1/networks/{name}", s.handleEvictNetwork)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -109,30 +119,35 @@ func (s *Server) EvaluateCanon(c CanonRequest) (body []byte, source string, err 
 	if err := entry.CheckMech(c.Mech); err != nil {
 		return nil, "", err
 	}
-	return s.evaluateEntry(entry, c)
+	body, source, _, err = s.evaluateEntry(entry, c)
+	return body, source, err
 }
 
 // evaluateEntry is EvaluateCanon with the registration already
-// resolved: the cache key (and the singleflight key) carry the entry's
-// generation prefix, and the admitted task is pinned to this exact
-// entry, so concurrent evict/re-register cycles can neither serve nor
-// poison another registration's results.
-func (s *Server) evaluateEntry(entry *NetworkEntry, c CanonRequest) (body []byte, source string, err error) {
-	key := entry.cachePrefix() + c.Key
+// resolved. One atomic load pins the admission to a consistent
+// {evaluator, version} pair; the cache key (and the singleflight key)
+// carry the entry's generation-and-version prefix, and the admitted
+// task evaluates on that exact evaluator — so concurrent
+// evict/re-register cycles *and* in-place updates can neither serve nor
+// poison another network state's results, and the returned version
+// always describes the state that produced the bytes.
+func (s *Server) evaluateEntry(entry *NetworkEntry, c CanonRequest) (body []byte, source string, ver uint64, err error) {
+	cur := entry.Ev.Current()
+	key := entry.prefixFor(cur.Version) + c.Key
 	if body, ok := s.cache.Get(key); ok {
-		return body, "hit", nil
+		return body, "hit", cur.Version, nil
 	}
 	body, err, shared := s.flight.Do(key, func() ([]byte, error) {
-		return s.batch.do(entry, c, key)
+		return s.batch.do(entry, cur.Ev, cur.Version, c, key)
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, "", cur.Version, err
 	}
 	if shared {
 		s.stats.Coalesced.Add(1)
-		return body, "coalesced", nil
+		return body, "coalesced", cur.Version, nil
 	}
-	return body, "miss", nil
+	return body, "miss", cur.Version, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -142,18 +157,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statszPayload is the /statsz document.
 type statszPayload struct {
-	Networks       int                       `json:"networks"`
-	Queries        uint64                    `json:"queries"`
-	Coalesced      uint64                    `json:"coalesced"`
-	Errors         uint64                    `json:"errors"`
-	InFlight       int64                     `json:"in_flight"`
-	Batches        uint64                    `json:"batches"`
-	BatchedQueries uint64                    `json:"batched_queries"`
-	Cache          CacheStats                `json:"cache"`
-	LatencyUS      map[string]LatencySummary `json:"latency_us"`
+	Networks       int    `json:"networks"`
+	Queries        uint64 `json:"queries"`
+	Coalesced      uint64 `json:"coalesced"`
+	Errors         uint64 `json:"errors"`
+	InFlight       int64  `json:"in_flight"`
+	Batches        uint64 `json:"batches"`
+	BatchedQueries uint64 `json:"batched_queries"`
+	// Updates counts applied network deltas, UpdateOps the mutation ops
+	// they carried; RebuildUS summarizes the evaluator rebuild+warm
+	// latency those swaps paid. Generations maps every hosted network
+	// to its current "regGen.version" cache generation — the observable
+	// proof that an update bumped the generation in place instead of
+	// forcing an evict/re-register round-trip (the regGen half is
+	// stable across updates).
+	Updates     uint64                    `json:"updates"`
+	UpdateOps   uint64                    `json:"update_ops"`
+	RebuildUS   LatencySummary            `json:"rebuild_us"`
+	Generations map[string]string         `json:"generations"`
+	Cache       CacheStats                `json:"cache"`
+	LatencyUS   map[string]LatencySummary `json:"latency_us"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	gens := make(map[string]string)
+	for _, e := range s.reg.Entries() {
+		gens[e.Name] = fmt.Sprintf("%d.%d", e.gen, e.Ev.Version())
+	}
 	p := statszPayload{
 		Networks:       s.reg.Len(),
 		Queries:        s.stats.Queries.Load(),
@@ -162,6 +192,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		InFlight:       s.stats.InFlight.Load(),
 		Batches:        s.stats.Batches.Load(),
 		BatchedQueries: s.stats.BatchedQueries.Load(),
+		Updates:        s.stats.Updates.Load(),
+		UpdateOps:      s.stats.UpdateOps.Load(),
+		RebuildUS:      s.stats.RebuildLatency(),
+		Generations:    gens,
 		Cache:          s.cache.Stats(),
 		LatencyUS:      s.stats.Latencies(),
 	}
@@ -174,10 +208,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 // reject with a 422 — the listing and evaluate-time reality can never
 // disagree because both read the same registry snapshot.
 type networkInfo struct {
-	Name       string          `json:"name"`
-	Stations   int             `json:"stations"`
-	Source     int             `json:"source"`
-	Euclidean  bool            `json:"euclidean"`
+	Name      string `json:"name"`
+	Stations  int    `json:"stations"`
+	Source    int    `json:"source"`
+	Euclidean bool   `json:"euclidean"`
+	// Version is the network's lifecycle version: 0 as registered,
+	// bumped by every mutation op a PATCH applied. Spec (when present)
+	// describes the network *as registered* — at version > 0 the served
+	// costs have drifted from what the spec alone would build.
+	Version    uint64          `json:"version"`
 	Mechanisms []string        `json:"mechanisms"`
 	Spec       *instances.Spec `json:"spec,omitempty"`
 }
@@ -196,6 +235,7 @@ func (s *Server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
 			Stations:   e.Net.N(),
 			Source:     e.Net.Source(),
 			Euclidean:  e.Net.IsEuclidean(),
+			Version:    e.Ev.Version(),
 			Mechanisms: e.Supported,
 		}
 		if e.Spec.Scenario != "" {
@@ -271,6 +311,68 @@ func (s *Server) handleRegisterNetwork(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"registered": sp.Name})
 }
 
+// updateResponse is the PATCH /v1/networks/{name} success body.
+type updateResponse struct {
+	Network string `json:"network"`
+	// OldVersion/Version bracket the delta; Ops is how many mutation
+	// ops it carried (Version - OldVersion).
+	OldVersion uint64 `json:"old_version"`
+	Version    uint64 `json:"version"`
+	Ops        int    `json:"ops"`
+	// RebuildUS is the evaluator rebuild+warm wall clock the swap paid.
+	RebuildUS float64 `json:"rebuild_us"`
+	// CacheEntriesDropped counts the retired version's purged cache
+	// entries — space reclamation only; correctness never depends on
+	// the purge (retired keys are unreachable by construction).
+	CacheEntriesDropped int `json:"cache_entries_dropped"`
+}
+
+// handleUpdateNetwork applies an in-place delta (cost changes, station
+// moves, station churn) to a hosted network: the versioned evaluator
+// mutates a private copy, rebuilds, and atomically swaps, so the
+// network's cache generation bumps in O(1) without an evict →
+// re-register round-trip. In-flight queries drain against the old
+// state; queries admitted after the swap see only the new one.
+func (s *Server) handleUpdateNetwork(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, ok := s.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown network %q", name))
+		return
+	}
+	var up instances.Update
+	if err := decodeJSON(r, &up); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if up.Empty() {
+		writeErr(w, http.StatusBadRequest, "empty update: no set_costs, move, disable or enable ops")
+		return
+	}
+	oldVer, newVer, rebuild, err := entry.Ev.Update(up.Apply)
+	if err != nil {
+		// Every op failure is a request defect (bad index, bad value, op
+		// outside the network's class); the update applied nothing.
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.stats.Updates.Add(1)
+	s.stats.UpdateOps.Add(uint64(newVer - oldVer))
+	s.stats.ObserveRebuild(rebuild)
+	// Reclaim the retired version's cache space. Correctness does not
+	// wait for this: new requests already form newVer keys, and a
+	// racing old-version Put self-deletes (see batcher.runGroup).
+	dropped := s.cache.DeletePrefix(entry.prefixFor(oldVer))
+	writeJSON(w, http.StatusOK, updateResponse{
+		Network:             name,
+		OldVersion:          oldVer,
+		Version:             newVer,
+		Ops:                 int(newVer - oldVer),
+		RebuildUS:           float64(rebuild.Nanoseconds()) / 1e3,
+		CacheEntriesDropped: dropped,
+	})
+}
+
 func (s *Server) handleEvictNetwork(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.reg.Evict(name) {
@@ -291,7 +393,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	body, source, code, err := s.evaluateWire(req)
+	body, source, ver, code, err := s.evaluateWire(req)
 	if err != nil {
 		s.stats.Errors.Add(1)
 		writeJSON(w, code, errPayload(req, err))
@@ -300,46 +402,51 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	s.stats.Observe(req.Mech, time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Wmcs-Cache", source)
+	// The network version the response was computed against — what a
+	// churn driver needs to byte-verify against the matching replica.
+	w.Header().Set("X-Wmcs-Version", strconv.FormatUint(ver, 10))
 	w.Write(body)
 }
 
 // evaluateWire is the single-query path shared by /v1/evaluate and each
-// /v1/batch element: resolve the network, canonicalize, admit. The
-// returned code is the HTTP status for a non-nil error.
-func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, code int, err error) {
+// /v1/batch element: resolve the network, canonicalize, admit. ver is
+// the network version the answer was computed against. The returned
+// code is the HTTP status for a non-nil error.
+func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, ver uint64, code int, err error) {
 	entry, ok := s.reg.Get(req.Network)
 	if !ok {
-		return nil, "", http.StatusNotFound, fmt.Errorf("unknown network %q", req.Network)
+		return nil, "", 0, http.StatusNotFound, fmt.Errorf("unknown network %q", req.Network)
 	}
 	c, err := Canonicalize(req, entry.Net.N(), entry.Net.Source())
 	if err != nil {
-		return nil, "", http.StatusBadRequest, err
+		return nil, "", 0, http.StatusBadRequest, err
 	}
 	// Registry-declared domain check, before admission: a valid name on
 	// a network outside its domain is a structured 422 — the same
 	// verdict the per-network listing in /v1/networks advertises, so the
-	// two can never disagree.
+	// two can never disagree. (Stable under updates: mutation ops cannot
+	// change the network class.)
 	if err := entry.CheckMech(c.Mech); err != nil {
-		return nil, "", http.StatusUnprocessableEntity, err
+		return nil, "", 0, http.StatusUnprocessableEntity, err
 	}
 	s.stats.Queries.Add(1)
-	body, source, err = s.evaluateEntry(entry, c)
+	body, source, ver, err = s.evaluateEntry(entry, c)
 	if errors.Is(err, errShuttingDown) {
 		// Retryable against another replica or after restart — must not
 		// look like a client error.
-		return nil, "", http.StatusServiceUnavailable, err
+		return nil, "", ver, http.StatusServiceUnavailable, err
 	}
 	if errors.Is(err, errInternal) {
 		// Server-side faults (recovered evaluation panics, unencodable
 		// outcomes) are ours, not the caller's.
-		return nil, "", http.StatusInternalServerError, err
+		return nil, "", ver, http.StatusInternalServerError, err
 	}
 	if err != nil {
 		// Remaining post-canonicalization failures are network-class
 		// mismatches (e.g. a line mechanism on a 2-d network).
-		return nil, "", http.StatusUnprocessableEntity, err
+		return nil, "", ver, http.StatusUnprocessableEntity, err
 	}
-	return body, source, 0, nil
+	return body, source, ver, 0, nil
 }
 
 // errBody is the error wire form. Code annotates the structured
@@ -407,7 +514,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range reqs {
 		go func(i int) {
 			start := time.Now()
-			body, _, _, err := s.evaluateWire(reqs[i])
+			body, _, _, _, err := s.evaluateWire(reqs[i])
 			elems[i] = batchElem{req: reqs[i], body: body, err: err}
 			if err != nil {
 				s.stats.Errors.Add(1)

@@ -23,6 +23,13 @@ type Stats struct {
 	// carried (BatchedQueries/Batches is the realized batching factor).
 	Batches        atomic.Uint64
 	BatchedQueries atomic.Uint64
+	// Updates counts applied PATCH deltas (version bumps; rejected or
+	// empty deltas do not count), UpdateOps the mutation ops they
+	// carried. rebuild histograms the evaluator swap latency.
+	Updates   atomic.Uint64
+	UpdateOps atomic.Uint64
+
+	rebuild latHist
 
 	mu  sync.Mutex
 	lat map[string]*latHist
@@ -43,6 +50,12 @@ func (s *Stats) Observe(mechName string, d time.Duration) {
 	s.mu.Unlock()
 	h.observe(d)
 }
+
+// ObserveRebuild records one update's evaluator rebuild+warm latency.
+func (s *Stats) ObserveRebuild(d time.Duration) { s.rebuild.observe(d) }
+
+// RebuildLatency summarizes the rebuild histogram for /statsz.
+func (s *Stats) RebuildLatency() LatencySummary { return s.rebuild.summary() }
 
 // LatencySummary is the /statsz digest of one mechanism's service
 // latency: count, mean, and log-bucket quantile bounds, in microseconds.

@@ -25,6 +25,12 @@ type Network struct {
 	source int
 	points []geom.Point   // nil for abstract symmetric networks
 	pc     geom.PowerCost // valid only when points != nil
+
+	// Lifecycle state (lifecycle.go): the mutation counter every
+	// successful in-place op bumps, and the pre-disable cost rows of
+	// currently disabled stations (nil while every station is enabled).
+	version   uint64
+	savedRows map[int][]float64
 }
 
 // NewSymmetric wraps a symmetric cost matrix as a network. The matrix is

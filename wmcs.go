@@ -216,6 +216,32 @@ func ByName(name string, nw *Network) (Mechanism, error) {
 // network.
 type Spec = instances.Spec
 
+// NetworkUpdate is one atomic network delta — the wire form of the
+// serving layer's PATCH /v1/networks/{name} and the unit the churn
+// models emit. Networks themselves carry the underlying mutation ops
+// (SetCost, MoveStation, SetStationEnabled, Snapshot, Version), since
+// Network aliases the wireless type; see DESIGN.md §10 for the
+// lifecycle contract.
+type NetworkUpdate = instances.Update
+
+// CostSet and MoveOp are NetworkUpdate's op types: a symmetric cost
+// assignment and a station relocation.
+type (
+	CostSet = instances.CostSet
+	MoveOp  = instances.MoveOp
+)
+
+// VersionedEvaluator is the live-network face of the query engine: a
+// lock-free Current() view for queries plus an Update method that
+// applies a mutation atomically and swaps in a rebuilt evaluator while
+// in-flight queries drain against the old one. The serving registry
+// runs one per hosted network.
+type VersionedEvaluator = query.VersionedEvaluator
+
+// NewVersionedEvaluator wraps a network (snapshotted at entry) in a
+// versioned evaluator.
+func NewVersionedEvaluator(nw *Network) *VersionedEvaluator { return query.NewVersioned(nw) }
+
 // Registry hosts named networks for serving, one shared Evaluator per
 // network. Populate it with RegisterSpec/Register (or LoadManifest) and
 // hand it to NewServer; see internal/serve and DESIGN.md §8.
