@@ -1,0 +1,192 @@
+// Command benchcmp is the benchmark-trajectory gate: it diffs two
+// wmcs-benchtab-timings/1 documents (cmd/benchtab -timings) and fails
+// when the new run regresses past the tolerance, so a PR that slows the
+// suite down cannot land silently. It also takes absolute assertions on
+// the new run — the tool CI uses to pin hot-path targets like "E6 under
+// a second" independently of what the baseline happened to measure.
+//
+// Usage:
+//
+//	benchcmp -old BENCH_pr5.json -new BENCH_pr6.json
+//	benchcmp -old old.json -new new.json -max-regress 20 -min-ms 50
+//	benchcmp -old old.json -new new.json -assert 'E6<=1000,total<=15000'
+//
+// An experiment regresses when its wall clock grows by more than
+// -max-regress percent AND both runs are above the -min-ms noise floor
+// (sub-floor experiments finish too fast for their ratio to mean
+// anything). An experiment present in the baseline but missing from the
+// new run is always a failure — silently dropping a benchmark is how
+// regressions hide. Experiments only the new run has are reported and
+// ignored. The two documents must agree on the quick flag: a -quick run
+// and a full run time different workloads, so their ratio gates nothing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wmcs/internal/cliutil"
+)
+
+// expTiming and timingDoc mirror cmd/benchtab's timings schema.
+type expTiming struct {
+	ID     string  `json:"id"`
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Rows   int     `json:"rows"`
+}
+
+type timingDoc struct {
+	Schema      string      `json:"schema"`
+	Quick       bool        `json:"quick"`
+	Workers     int         `json:"workers"`
+	Experiments []expTiming `json:"experiments"`
+	TotalMS     float64     `json:"total_ms"`
+}
+
+// loadDoc reads and schema-checks one timings document.
+func loadDoc(path string) (timingDoc, error) {
+	var doc timingDoc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(doc.Schema, "wmcs-benchtab-timings/") {
+		return doc, fmt.Errorf("%s: schema %q is not a benchtab timings document", path, doc.Schema)
+	}
+	if len(doc.Experiments) == 0 {
+		return doc, fmt.Errorf("%s: no experiments", path)
+	}
+	return doc, nil
+}
+
+// assertion is one "ID<=ms" bound on the new run ("total" addresses
+// TotalMS).
+type assertion struct {
+	ID    string
+	MaxMS float64
+}
+
+// parseAsserts parses a comma-separated "E6<=1000,total<=15000" list.
+func parseAsserts(s string) ([]assertion, error) {
+	var out []assertion
+	for _, f := range cliutil.SplitList(s) {
+		id, bound, ok := strings.Cut(f, "<=")
+		if !ok || strings.TrimSpace(id) == "" {
+			return nil, fmt.Errorf("assertion %q is not of the form ID<=ms", f)
+		}
+		ms, err := strconv.ParseFloat(strings.TrimSpace(bound), 64)
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("assertion %q: bound must be a positive millisecond count", f)
+		}
+		out = append(out, assertion{ID: strings.TrimSpace(id), MaxMS: ms})
+	}
+	return out, nil
+}
+
+// compare produces the human report and the list of gate violations.
+// maxRegressPct is the allowed relative growth; minMS is the noise
+// floor below which ratios are not judged.
+func compare(oldDoc, newDoc timingDoc, maxRegressPct, minMS float64, asserts []assertion) (report []string, violations []string) {
+	if oldDoc.Quick != newDoc.Quick {
+		violations = append(violations,
+			fmt.Sprintf("quick flags differ (old %v, new %v): the runs time different workloads", oldDoc.Quick, newDoc.Quick))
+		return nil, violations
+	}
+	newBy := make(map[string]expTiming, len(newDoc.Experiments))
+	for _, e := range newDoc.Experiments {
+		newBy[e.ID] = e
+	}
+	oldIDs := make(map[string]bool, len(oldDoc.Experiments))
+	for _, o := range oldDoc.Experiments {
+		oldIDs[o.ID] = true
+		n, ok := newBy[o.ID]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline (%.0f ms) but missing from the new run", o.ID, o.WallMS))
+			continue
+		}
+		pct := 0.0
+		if o.WallMS > 0 {
+			pct = (n.WallMS - o.WallMS) / o.WallMS * 100
+		}
+		line := fmt.Sprintf("%-5s %10.1f ms -> %10.1f ms  %+7.1f%%", o.ID, o.WallMS, n.WallMS, pct)
+		if o.WallMS >= minMS && n.WallMS >= minMS && pct > maxRegressPct {
+			line += "  REGRESSION"
+			violations = append(violations,
+				fmt.Sprintf("%s regressed %.1f%% (%.1f ms -> %.1f ms, tolerance %.0f%%)", o.ID, pct, o.WallMS, n.WallMS, maxRegressPct))
+		}
+		report = append(report, line)
+	}
+	var added []string
+	for id := range newBy {
+		if !oldIDs[id] {
+			added = append(added, id)
+		}
+	}
+	sort.Strings(added)
+	for _, id := range added {
+		report = append(report, fmt.Sprintf("%-5s %10s -> %10.1f ms  (new experiment, not gated)", id, "-", newBy[id].WallMS))
+	}
+	report = append(report, fmt.Sprintf("total %10.1f ms -> %10.1f ms", oldDoc.TotalMS, newDoc.TotalMS))
+	for _, a := range asserts {
+		got := newDoc.TotalMS
+		if a.ID != "total" {
+			e, ok := newBy[a.ID]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("assert %s<=%.0f: no such experiment in the new run", a.ID, a.MaxMS))
+				continue
+			}
+			got = e.WallMS
+		}
+		if got > a.MaxMS {
+			violations = append(violations, fmt.Sprintf("assert %s<=%.0f failed: %.1f ms", a.ID, a.MaxMS, got))
+		} else {
+			report = append(report, fmt.Sprintf("assert %s<=%.0f ok (%.1f ms)", a.ID, a.MaxMS, got))
+		}
+	}
+	return report, violations
+}
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "", "baseline timings JSON (required)")
+		newPath    = flag.String("new", "", "candidate timings JSON (required)")
+		maxRegress = flag.Float64("max-regress", 20, "allowed per-experiment wall-clock growth, percent")
+		minMS      = flag.Float64("min-ms", 50, "noise floor: experiments under this in both runs are not ratio-gated")
+		assertsCSV = flag.String("assert", "", "absolute bounds on the new run, e.g. 'E6<=1000,total<=15000'")
+	)
+	cliutil.Parse()
+	if *oldPath == "" || *newPath == "" {
+		cliutil.Die("both -old and -new are required")
+	}
+	asserts, err := parseAsserts(*assertsCSV)
+	if err != nil {
+		cliutil.Die("%v", err)
+	}
+	oldDoc, err := loadDoc(*oldPath)
+	if err != nil {
+		cliutil.Die("%v", err)
+	}
+	newDoc, err := loadDoc(*newPath)
+	if err != nil {
+		cliutil.Die("%v", err)
+	}
+	report, violations := compare(oldDoc, newDoc, *maxRegress, *minMS, asserts)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchcmp: "+v)
+		}
+		os.Exit(1)
+	}
+}

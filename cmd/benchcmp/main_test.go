@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(quick bool, total float64, exps ...expTiming) timingDoc {
+	return timingDoc{Schema: "wmcs-benchtab-timings/1", Quick: quick, Experiments: exps, TotalMS: total}
+}
+
+func e(id string, ms float64) expTiming { return expTiming{ID: id, Name: id, WallMS: ms} }
+
+func violationsContain(t *testing.T, violations []string, want string) {
+	t.Helper()
+	for _, v := range violations {
+		if strings.Contains(v, want) {
+			return
+		}
+	}
+	t.Fatalf("no violation mentions %q; got %v", want, violations)
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	oldDoc := doc(false, 1000, e("E1", 100), e("E6", 700), e("E9", 60))
+	newDoc := doc(false, 500, e("E1", 90), e("E6", 300), e("E9", 65))
+	report, violations := compare(oldDoc, newDoc, 20, 50, nil)
+	if len(violations) != 0 {
+		t.Fatalf("clean run produced violations: %v", violations)
+	}
+	if len(report) != 4 { // 3 experiments + total
+		t.Fatalf("report: %v", report)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldDoc := doc(false, 1000, e("E6", 500))
+	newDoc := doc(false, 1000, e("E6", 601)) // +20.2% > 20%
+	_, violations := compare(oldDoc, newDoc, 20, 50, nil)
+	violationsContain(t, violations, "E6 regressed")
+	// Exactly at tolerance passes.
+	newDoc = doc(false, 1000, e("E6", 600))
+	if _, v := compare(oldDoc, newDoc, 20, 50, nil); len(v) != 0 {
+		t.Fatalf("at-tolerance run flagged: %v", v)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// 4 ms -> 40 ms is +900% but both sides sit under the 50 ms floor
+	// in at least one run: too fast to ratio-gate.
+	oldDoc := doc(false, 100, e("E12", 4))
+	newDoc := doc(false, 100, e("E12", 40))
+	if _, v := compare(oldDoc, newDoc, 20, 50, nil); len(v) != 0 {
+		t.Fatalf("sub-floor experiment flagged: %v", v)
+	}
+	// Crossing the floor from below is likewise not gated (old < floor)…
+	newDoc = doc(false, 100, e("E12", 80))
+	if _, v := compare(oldDoc, newDoc, 20, 50, nil); len(v) != 0 {
+		t.Fatalf("old-below-floor experiment flagged: %v", v)
+	}
+	// …but two above-floor measurements are.
+	oldDoc = doc(false, 100, e("E12", 60))
+	newDoc = doc(false, 100, e("E12", 120))
+	_, v := compare(oldDoc, newDoc, 20, 50, nil)
+	violationsContain(t, v, "E12 regressed")
+}
+
+func TestCompareMissingExperimentFails(t *testing.T) {
+	oldDoc := doc(false, 100, e("E1", 60), e("E6", 700))
+	newDoc := doc(false, 100, e("E1", 60))
+	_, violations := compare(oldDoc, newDoc, 20, 50, nil)
+	violationsContain(t, violations, "E6")
+	violationsContain(t, violations, "missing")
+}
+
+func TestCompareNewExperimentNotGated(t *testing.T) {
+	oldDoc := doc(false, 100, e("E1", 60))
+	newDoc := doc(false, 100, e("E1", 60), e("E15", 9999))
+	report, violations := compare(oldDoc, newDoc, 20, 50, nil)
+	if len(violations) != 0 {
+		t.Fatalf("new experiment gated: %v", violations)
+	}
+	found := false
+	for _, line := range report {
+		found = found || strings.Contains(line, "E15") && strings.Contains(line, "not gated")
+	}
+	if !found {
+		t.Fatalf("new experiment not reported: %v", report)
+	}
+}
+
+func TestCompareQuickMismatchFails(t *testing.T) {
+	oldDoc := doc(false, 100, e("E1", 60))
+	newDoc := doc(true, 100, e("E1", 10))
+	_, violations := compare(oldDoc, newDoc, 20, 50, nil)
+	violationsContain(t, violations, "quick flags differ")
+}
+
+func TestAsserts(t *testing.T) {
+	asserts, err := parseAsserts("E6<=1000, total<=15000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asserts) != 2 || asserts[0] != (assertion{"E6", 1000}) || asserts[1] != (assertion{"total", 15000}) {
+		t.Fatalf("parsed %v", asserts)
+	}
+	oldDoc := doc(false, 16000, e("E6", 900))
+	newDoc := doc(false, 14000, e("E6", 950))
+	if _, v := compare(oldDoc, newDoc, 20, 50, asserts); len(v) != 0 {
+		t.Fatalf("passing asserts flagged: %v", v)
+	}
+	newDoc = doc(false, 14000, e("E6", 1400))
+	_, v := compare(oldDoc, newDoc, 100, 50, asserts)
+	violationsContain(t, v, "assert E6<=1000 failed")
+	// Asserting on an id the run lacks must fail, not pass vacuously.
+	_, v = compare(oldDoc, doc(false, 100, e("E1", 10)), 20, 50, asserts)
+	violationsContain(t, v, "no such experiment")
+}
+
+func TestParseAssertsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"E6", "E6<=", "E6<=-5", "E6<=zero", "<=100"} {
+		if _, err := parseAsserts(bad); err == nil {
+			t.Errorf("parseAsserts(%q) accepted", bad)
+		}
+	}
+	if _, err := parseAsserts("E6<=0"); err == nil {
+		t.Error("zero bound accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package mech
+
+import "fmt"
+
+// This file defines the approximate-evaluation contract. Some mechanisms
+// offer, besides the exact Run, a sampled tier: the same Moulin–Shenker
+// iteration driven by a sampled-permutation Shapley estimator instead of
+// the 2^k exact enumeration, with an explicit (ε, δ) certificate on the
+// final shares. The tiers never mix: a request either runs exact or runs
+// sampled with a full certificate, and the serving layer keys its cache
+// so the two can never collide.
+
+// ApproxSpec selects and parameterizes the sampled tier of a mechanism
+// that implements ApproxRunner.
+type ApproxSpec struct {
+	// Samples is the number of sampled permutations per share
+	// evaluation, ≥ 1. More samples shrink ε at the usual 1/√m rate.
+	Samples int
+	// Delta is the certificate's failure-probability budget in (0, 1):
+	// with probability ≥ 1−Delta every reported share is within the
+	// certificate's Epsilon of its exact value.
+	Delta float64
+	// Seed pins the permutation stream. Equal (Samples, Delta, Seed)
+	// specs on equal inputs reproduce byte-equal outcomes.
+	Seed int64
+}
+
+// Validate rejects specs outside the contract; the error is suitable to
+// surface to a client verbatim.
+func (s ApproxSpec) Validate() error {
+	if s.Samples < 1 {
+		return fmt.Errorf("approx: samples must be >= 1, got %d", s.Samples)
+	}
+	if !(s.Delta > 0 && s.Delta < 1) { // also rejects NaN
+		return fmt.Errorf("approx: delta must be in (0,1), got %g", s.Delta)
+	}
+	return nil
+}
+
+// ApproxCert is the statistical guarantee returned with a sampled
+// outcome: with probability at least 1−Delta, every reported share is
+// within Epsilon of the exact Shapley share of the same receiver set
+// (Hoeffding over Samples permutation marginals, union-bounded over the
+// agents; DeltaMax is the marginal range the bound used).
+type ApproxCert struct {
+	Samples  int
+	Epsilon  float64
+	Delta    float64
+	DeltaMax float64
+}
+
+// ApproxRunner is implemented by mechanisms with a sampled tier.
+type ApproxRunner interface {
+	Mechanism
+	// RunApprox executes the sampled tier. The error reports an invalid
+	// spec; a valid spec always produces an outcome plus certificate.
+	RunApprox(u Profile, spec ApproxSpec) (Outcome, ApproxCert, error)
+}

@@ -114,6 +114,12 @@ func CheckConformance(d Descriptor, nw *wireless.Network, opts ConformanceOption
 	if err != nil {
 		return rep, err
 	}
+	// The Approx flag is a declaration like any guarantee: it must match
+	// what the built mechanism actually implements, in both directions.
+	if _, ok := m.(mech.ApproxRunner); ok != d.Approx {
+		return rep, fmt.Errorf("%s: descriptor declares Approx=%v but the built mechanism's sampled tier is %v",
+			d.Name, d.Approx, ok)
+	}
 	g := d.Guarantees
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for trial := 0; trial < opts.Profiles; trial++ {
@@ -145,6 +151,23 @@ func CheckConformance(d Descriptor, nw *wireless.Network, opts ConformanceOption
 				}
 				rep.KnownGapHits = append(rep.KnownGapHits,
 					fmt.Sprintf("trial %d: GSP (known gap %s): %v", trial, g.SPGap, err))
+			}
+		}
+		if d.Approx && trial == 0 {
+			// Smoke the sampled tier once: it must produce a well-formed
+			// certificate and an outcome meeting the same per-outcome
+			// axioms (Σ sampled shares telescopes to C(R) exactly per
+			// permutation, so even budget balance survives sampling).
+			ar := m.(mech.ApproxRunner)
+			ao, cert, err := ar.RunApprox(u, mech.ApproxSpec{Samples: 64, Delta: 0.05, Seed: opts.Seed})
+			if err != nil {
+				return rep, fmt.Errorf("%s: sampled tier rejected a valid spec: %w", d.Name, err)
+			}
+			if cert.Samples != 64 || cert.Delta != 0.05 || math.IsNaN(cert.Epsilon) || cert.Epsilon < 0 {
+				return rep, fmt.Errorf("%s: malformed certificate %+v", d.Name, cert)
+			}
+			if err := g.CheckOutcome(u, ao); err != nil {
+				return rep, fmt.Errorf("%s sampled tier: %w", d.Name, err)
 			}
 		}
 		rep.Profiles++

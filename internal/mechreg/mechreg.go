@@ -169,6 +169,13 @@ type Descriptor struct {
 	PaperRef string
 	// Desc is a one-line description for listings.
 	Desc string
+	// Approx declares that the built mechanism offers the sampled
+	// Shapley tier (mech.ApproxRunner): requests may carry an ApproxSpec
+	// and receive an (ε, δ)-certified outcome. The conformance tests
+	// verify the flag against what Build actually produces, so a
+	// descriptor cannot advertise a tier its mechanism lacks (or hide
+	// one it has).
+	Approx bool
 	// Guarantees is the declared theorem statement.
 	Guarantees Guarantees
 	// Supports reports whether the mechanism's domain admits nw: nil
@@ -243,6 +250,20 @@ type named struct {
 }
 
 func (n named) Name() string { return n.name }
+
+// namedApprox is named for mechanisms with a sampled tier: it forwards
+// RunApprox so the mech.ApproxRunner assertion survives the name-pinning
+// wrapper. build selects it exactly when the built mechanism implements
+// the interface.
+type namedApprox struct {
+	named
+	ar mech.ApproxRunner
+}
+
+// RunApprox implements mech.ApproxRunner.
+func (n namedApprox) RunApprox(u mech.Profile, spec mech.ApproxSpec) (mech.Outcome, mech.ApproxCert, error) {
+	return n.ar.RunApprox(u, spec)
+}
 
 // All returns the registry in presentation order (shared slice, do not
 // modify). The order is the paper's: §2 general constructions first,
@@ -334,7 +355,11 @@ func (d Descriptor) build(ctx *BuildContext) (mech.Mechanism, error) {
 	if err != nil {
 		return nil, err
 	}
-	return named{name: d.Name, Mechanism: m}, nil
+	nm := named{name: d.Name, Mechanism: m}
+	if ar, ok := m.(mech.ApproxRunner); ok {
+		return namedApprox{named: nm, ar: ar}, nil
+	}
+	return nm, nil
 }
 
 // unsupported builds the canonical domain-mismatch error: "wmcs: <msg>"

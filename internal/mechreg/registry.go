@@ -68,6 +68,7 @@ var registry = []Descriptor{
 		Domain:   "general symmetric",
 		PaperRef: "§2.1",
 		Desc:     "Shapley value on a fixed universal broadcast tree (Moulin–Shenker)",
+		Approx:   true,
 		Guarantees: Guarantees{
 			BB:                BBSolution,
 			BetaLabel:         "1",
@@ -122,6 +123,7 @@ var registry = []Descriptor{
 		Domain:   "Euclidean, α = 1",
 		PaperRef: "Thm 3.2 (α = 1)",
 		Desc:     "airport-game Shapley mechanism (closed form)",
+		Approx:   true,
 		Guarantees: Guarantees{
 			BB:                BBOptimum,
 			Beta:              betaOne,
@@ -157,6 +159,7 @@ var registry = []Descriptor{
 		Domain:   "d = 1 (stations on a line)",
 		PaperRef: "Thm 3.2 (d = 1)",
 		Desc:     "interval-game Shapley mechanism over exact interval optima",
+		Approx:   true,
 		Guarantees: Guarantees{
 			BB:                BBOptimum,
 			Beta:              betaOne,

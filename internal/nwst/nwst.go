@@ -87,6 +87,7 @@ type State struct {
 	// instead of reallocating them.
 	consBase []int
 	sc       scratch
+	ws       *Workspace
 }
 
 // scratch holds the reusable buffers of NodeDist and the spider oracles.
@@ -292,6 +293,18 @@ func (s *State) NodeDist(src int) (dist []float64, parent []int) {
 // nodeDistInto is NodeDist writing into caller-provided slices of length
 // g.N(), reusing the state's heap and visited mask.
 func (s *State) nodeDistInto(src int, dist []float64, parent []int) {
+	s.nodeDistStop(src, dist, parent, -1)
+}
+
+// nodeDistStop is nodeDistInto with an optional early stop: stopTerms > 0
+// halts the search once that many live *paying* terminals have settled.
+// Every entry a caller may read is final by then — a settled vertex's
+// dist and the parents along its optimal path (all settled strictly
+// earlier) never change afterwards — so for callers that only consume
+// paying-terminal distances and their paths (the Klein–Ravi sweep) the
+// observable bytes match an exhaustive run; entries past the stop are
+// garbage and must not be read. stopTerms ≤ 0 runs to exhaustion.
+func (s *State) nodeDistStop(src int, dist []float64, parent []int, stopTerms int) {
 	n := s.g.N()
 	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
@@ -318,6 +331,11 @@ func (s *State) nodeDistInto(src int, dist []float64, parent []int) {
 			continue
 		}
 		done[u] = true
+		if stopTerms > 0 && s.isTerm[u] && !s.free[u] {
+			if stopTerms--; stopTerms == 0 {
+				return
+			}
+		}
 		for _, e := range s.g.Neighbors(u) {
 			v := e.To
 			if !s.alive[v] || done[v] {
@@ -399,30 +417,6 @@ func appendPath(parent []int, v int, buf []int) []int {
 	return buf
 }
 
-// buildSpider assembles an exact-cost Spider from a center and a set of
-// leg endpoints with their parent forest. The returned spider's
-// Nodes/Terms alias the state's scratch buffers and are valid only until
-// the next assembly; keep a candidate with Clone.
-func (s *State) buildSpider(center int, parent []int, legEnds []int) Spider {
-	inUnion := s.sc.spiderBufs(s.g.N())
-	nodes := append(s.sc.nodesBuf, center)
-	inUnion[center] = true
-	for _, end := range legEnds {
-		s.sc.pathBuf = appendPath(parent, end, s.sc.pathBuf[:0])
-		for _, v := range s.sc.pathBuf {
-			if !inUnion[v] {
-				inUnion[v] = true
-				nodes = append(nodes, v)
-			}
-		}
-	}
-	sp := s.finishSpider(center, nodes)
-	for _, v := range nodes {
-		inUnion[v] = false
-	}
-	return sp
-}
-
 // finishSpider computes cost/terms/ratio over the accumulated node union
 // (in insertion order, so float summation order matches the historical
 // fresh-allocation code) and sorts the scratch-backed slices.
@@ -470,7 +464,9 @@ func KleinRaviOracle(s *State, minCover int) (Spider, bool) {
 			continue
 		}
 		dist, parent := s.sc.distBufs(n)
-		s.nodeDistInto(v, dist, parent)
+		// Settle only as far as the last paying terminal: nothing past it
+		// is read (see nodeDistStop).
+		s.nodeDistStop(v, dist, parent, len(paying))
 		// Paying terminals sorted by distance from v. The comparator is a
 		// total order (ties broken by id), so the sorted sequence — and
 		// with it every downstream byte — does not depend on the sort
@@ -484,16 +480,64 @@ func KleinRaviOracle(s *State, minCover int) (Spider, bool) {
 		if math.IsInf(dist[terms[minCover-1]], 1) {
 			continue
 		}
-		for j := minCover; j <= len(terms); j++ {
+		// Incremental prefix union: leg j extends the union of legs
+		// 1..j−1 in place instead of rebuilding it (the historical
+		// buildSpider-per-prefix was quadratic in the leg count). Nodes
+		// are appended in the same order the rebuild would produce —
+		// center first, then each leg's path nodes, skipping ones
+		// already present — and cost/terms accumulate at append time,
+		// which is the same strictly left-to-right float summation
+		// finishSpider performs, so every candidate's Cost, Ratio and
+		// Paying are bit-identical to the rebuilt spider's.
+		inUnion := s.sc.spiderBufs(n)
+		nodes := append(s.sc.nodesBuf, v)
+		inUnion[v] = true
+		unionTerms := s.sc.termsBuf[:0]
+		var cost float64
+		paying := 0
+		admit := func(x int) {
+			cost += s.w[x]
+			if s.isTerm[x] {
+				unionTerms = append(unionTerms, x)
+				if !s.free[x] {
+					paying++
+				}
+			}
+		}
+		admit(v)
+		for j := 1; j <= len(terms); j++ {
 			if math.IsInf(dist[terms[j-1]], 1) {
 				break
 			}
-			sp := s.buildSpider(v, parent, terms[:j])
-			if sp.Paying >= minCover && sp.Ratio < best.Ratio-1e-15 {
-				best = sp.Clone()
+			s.sc.pathBuf = appendPath(parent, terms[j-1], s.sc.pathBuf[:0])
+			for _, x := range s.sc.pathBuf {
+				if !inUnion[x] {
+					inUnion[x] = true
+					nodes = append(nodes, x)
+					admit(x)
+				}
+			}
+			if j < minCover {
+				continue
+			}
+			ratio := math.Inf(1)
+			if paying > 0 {
+				ratio = cost / float64(paying)
+			}
+			if paying >= minCover && ratio < best.Ratio-1e-15 {
+				bn := append([]int(nil), nodes...)
+				bt := append([]int(nil), unionTerms...)
+				sort.Ints(bn)
+				sort.Ints(bt)
+				best = Spider{Center: v, Nodes: bn, Terms: bt, Paying: paying, Cost: cost, Ratio: ratio}
 				found = true
 			}
 		}
+		for _, x := range nodes {
+			inUnion[x] = false
+		}
+		s.sc.nodesBuf = nodes
+		s.sc.termsBuf = unionTerms
 	}
 	return best, found
 }

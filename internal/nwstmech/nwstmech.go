@@ -39,6 +39,11 @@ type Mechanism struct {
 	oracle nwst.Oracle
 	agents []int
 	pool   *nwst.StatePool
+	// memo, when non-nil, replays recorded spider trajectories for
+	// terminal sets seen before (nwst.TrajectoryMemo): the greedy's
+	// spider sequence depends only on the terminal set, never on the
+	// profile, so replays are byte-identical to fresh computation.
+	memo *nwst.TrajectoryMemo
 }
 
 // eps absorbs floating-point noise in budget comparisons.
@@ -59,6 +64,15 @@ func New(inst nwst.Instance, oracle nwst.Oracle) *Mechanism {
 // nwst.State.Reset restores a pooled state to as-constructed behavior.
 // A nil pool allocates a private one.
 func NewShared(inst nwst.Instance, oracle nwst.Oracle, pool *nwst.StatePool) *Mechanism {
+	return NewMemoized(inst, oracle, pool, nil)
+}
+
+// NewMemoized is NewShared with a trajectory memo: runs record the
+// spider sequence per terminal set and replay it on re-runs instead of
+// re-invoking the oracle. The memo must be used only with this host
+// instance and oracle (the wireless mechanism owns one per reduction);
+// nil disables memoization.
+func NewMemoized(inst nwst.Instance, oracle nwst.Oracle, pool *nwst.StatePool, memo *nwst.TrajectoryMemo) *Mechanism {
 	inst.Validate()
 	if oracle == nil {
 		oracle = nwst.BranchSpiderOracle
@@ -66,7 +80,7 @@ func NewShared(inst nwst.Instance, oracle nwst.Oracle, pool *nwst.StatePool) *Me
 	if pool == nil {
 		pool = nwst.NewStatePool(inst.G, inst.Weights)
 	}
-	m := &Mechanism{inst: inst, oracle: oracle, pool: pool}
+	m := &Mechanism{inst: inst, oracle: oracle, pool: pool, memo: memo}
 	for ti, t := range inst.Terminals {
 		if inst.Free == nil || !inst.Free[ti] {
 			m.agents = append(m.agents, t)
@@ -143,9 +157,22 @@ func (m *Mechanism) attempt(u mech.Profile, active map[int]bool, freeTerms []int
 	st := m.pool.Get(terms, free)
 	defer m.pool.Put(st)
 
-	shares := map[int]float64{}
-	vt := map[int]float64{} // super-terminal utilities (Eq. 5)
-	chosen := map[int]bool{}
+	// Recorded trajectory for this terminal set, if any: the steps are
+	// exactly what a fresh run would compute (profile-independence, see
+	// nwst.TrajectoryMemo), so replaying them skips the oracle without
+	// perturbing a single byte.
+	var memoKey string
+	var steps []nwst.TrajectoryStep
+	if m.memo != nil {
+		memoKey = nwst.TrajectoryKey(terms, free)
+		steps = m.memo.Lookup(memoKey)
+	}
+
+	// Flat per-run scratch off the pooled state: shares and chosen are
+	// indexed by original vertex id, vt (Eq. 5) by contracted vertex id.
+	ws := st.Workspace()
+	ws.Reset(st.N0())
+	shares, vt, chosen := ws.Shares, ws.VT, ws.Chosen
 	for _, t := range terms {
 		chosen[t] = true
 	}
@@ -249,27 +276,48 @@ func (m *Mechanism) attempt(u mech.Profile, active map[int]bool, freeTerms []int
 		return float64(paying) * minResid
 	}
 
-	for {
+	for stepIdx := 0; ; stepIdx++ {
 		live := st.LiveTerminals()
 		if len(live) <= 1 {
 			break
 		}
-		var sp nwst.Spider
+		expect := nwst.StepSpider
 		if len(live) == 2 {
-			path, cost := st.PathBetween(live[0], live[1])
-			if math.IsInf(cost, 1) {
-				return Result{}, nil, false // disconnected: give up
+			expect = nwst.StepPath
+		}
+		var sp nwst.Spider
+		replayed := false
+		if stepIdx < len(steps) {
+			stp := steps[stepIdx]
+			if stp.Kind == nwst.StepFail {
+				return Result{}, nil, false // recorded dead end
 			}
-			sp = spiderFromPath(st, path)
-		} else {
-			minCover := len(st.PayingTerminals())
-			if minCover > 3 {
-				minCover = 3
+			if stp.Kind == expect {
+				sp = stp.Spider
+				replayed = true
 			}
-			var ok bool
-			sp, ok = m.oracle(st, minCover)
-			if !ok {
-				return Result{}, nil, false
+		}
+		if !replayed {
+			if len(live) == 2 {
+				path, cost := st.PathBetween(live[0], live[1])
+				if math.IsInf(cost, 1) {
+					m.publish(memoKey, stepIdx, nwst.TrajectoryStep{Kind: nwst.StepFail})
+					return Result{}, nil, false // disconnected: give up
+				}
+				sp = spiderFromPath(st, path)
+				m.publish(memoKey, stepIdx, nwst.TrajectoryStep{Kind: nwst.StepPath, Spider: sp})
+			} else {
+				minCover := len(st.PayingTerminals())
+				if minCover > 3 {
+					minCover = 3
+				}
+				var ok bool
+				sp, ok = m.oracle(st, minCover)
+				if !ok {
+					m.publish(memoKey, stepIdx, nwst.TrajectoryStep{Kind: nwst.StepFail})
+					return Result{}, nil, false
+				}
+				m.publish(memoKey, stepIdx, nwst.TrajectoryStep{Kind: nwst.StepSpider, Spider: sp})
 			}
 		}
 		drop, ok := accept(sp)
@@ -282,16 +330,19 @@ func (m *Mechanism) attempt(u mech.Profile, active map[int]bool, freeTerms []int
 		// covered super-terminals must be read before Shrink retires them.
 		newUtility := newVT(sp)
 		nv := st.Shrink(sp)
+		ws.Grow(nv + 1)
+		shares, vt, chosen = ws.Shares, ws.VT, ws.Chosen
 		vt[nv] = newUtility
 		if len(live) == 2 {
 			break
 		}
 	}
 	var nodes []int
-	for v := range chosen {
-		nodes = append(nodes, v)
+	for v := 0; v < st.N0(); v++ {
+		if chosen[v] {
+			nodes = append(nodes, v)
+		}
 	}
-	sort.Ints(nodes)
 	// Sum in node order: map order would perturb the float low bits.
 	var cost float64
 	for _, v := range nodes {
@@ -310,6 +361,13 @@ func (m *Mechanism) attempt(u mech.Profile, active map[int]bool, freeTerms []int
 		Outcome: mech.Outcome{Receivers: receivers, Shares: sharesOut, Cost: cost},
 		Nodes:   nodes,
 	}, nil, true
+}
+
+// publish records one trajectory step when memoization is on.
+func (m *Mechanism) publish(key string, idx int, step nwst.TrajectoryStep) {
+	if m.memo != nil {
+		m.memo.Publish(key, idx, step)
+	}
 }
 
 // spiderFromPath builds the final "connect the last two terminals

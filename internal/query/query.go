@@ -24,6 +24,8 @@
 package query
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"wmcs/internal/engine"
@@ -171,6 +173,32 @@ func (e *Evaluator) Evaluate(name string, R []int, u mech.Profile) (mech.Outcome
 	return m.Run(u), nil
 }
 
+// ErrNoApproxTier marks an approximate request against a mechanism whose
+// descriptor declares no sampled tier. The name and network class are
+// fine — only the tier selection is not — so the serving layer answers a
+// structured 422, like a domain mismatch.
+var ErrNoApproxTier = errors.New("mechanism has no approximate tier")
+
+// EvaluateApprox runs one receiver-set query on the mechanism's sampled
+// tier: same restriction semantics as Evaluate, plus the (ε, δ)
+// certificate of the returned shares. It fails with ErrNoApproxTier when
+// the mechanism does not implement mech.ApproxRunner, and passes through
+// the spec-validation error of an invalid ApproxSpec.
+func (e *Evaluator) EvaluateApprox(name string, R []int, u mech.Profile, spec mech.ApproxSpec) (mech.Outcome, mech.ApproxCert, error) {
+	m, err := e.Mechanism(name)
+	if err != nil {
+		return mech.Outcome{}, mech.ApproxCert{}, err
+	}
+	ar, ok := m.(mech.ApproxRunner)
+	if !ok {
+		return mech.Outcome{}, mech.ApproxCert{}, fmt.Errorf("wmcs: %q: %w", name, ErrNoApproxTier)
+	}
+	if R != nil {
+		u = restrict(u, R)
+	}
+	return ar.RunApprox(u, spec)
+}
+
 // restrict returns the profile that reports u inside R and 0 elsewhere.
 func restrict(u mech.Profile, R []int) mech.Profile {
 	v := make(mech.Profile, len(u))
@@ -187,12 +215,18 @@ type Request struct {
 	Mech    string       // registry mechanism name
 	R       []int        // candidate receiver set; nil = all stations
 	Profile mech.Profile // reported utilities
+	// Approx selects the mechanism's sampled tier; nil runs exact. The
+	// two tiers never share results: the serving layer keys its cache on
+	// the canonicalized spec.
+	Approx *mech.ApproxSpec
 }
 
 // Response pairs a request's outcome with its per-request error (bad
 // mechanism name or network class); Outcome is meaningful iff Err is nil.
+// Cert is non-nil exactly for successful approximate-tier requests.
 type Response struct {
 	Outcome mech.Outcome
+	Cert    *mech.ApproxCert
 	Err     error
 }
 
@@ -205,6 +239,13 @@ type Response struct {
 func (e *Evaluator) EvaluateBatch(reqs []Request, workers int) []Response {
 	pool := engine.New(workers)
 	return engine.Map(pool, len(reqs), func(i int) Response {
+		if spec := reqs[i].Approx; spec != nil {
+			o, cert, err := e.EvaluateApprox(reqs[i].Mech, reqs[i].R, reqs[i].Profile, *spec)
+			if err != nil {
+				return Response{Err: err}
+			}
+			return Response{Outcome: o, Cert: &cert}
+		}
 		o, err := e.Evaluate(reqs[i].Mech, reqs[i].R, reqs[i].Profile)
 		return Response{Outcome: o, Err: err}
 	})

@@ -1,0 +1,159 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wmcs/internal/instances"
+	"wmcs/internal/mech"
+	"wmcs/internal/mechreg"
+	"wmcs/internal/wireless"
+	"wmcs/internal/wmech"
+)
+
+// This file is the registry × scenario differential sweep for the
+// memoized hot path: every mechanism the registry admits on a scenario
+// family, probed at several receiver-set sizes, must answer
+// bit-identically (a) at engine widths 1 and 8, (b) on a memo-warm
+// evaluator replaying queries it has already seen, (c) against a fresh
+// evaluator with cold substrates, (d) for wireless-bb, against the seed
+// evaluation path itself — a mechanism with trajectory memoization
+// disabled — and (e) across a VersionedEvaluator.Update, where the new
+// generation must match a from-scratch build of the updated network
+// (i.e. the retired generation's memo must not leak forward).
+
+// sweepFamily pairs a scenario spec with the registry mechanisms its
+// network class admits.
+type sweepFamily struct {
+	spec  instances.Spec
+	mechs []string
+}
+
+func sweepFamilies(n int) []sweepFamily {
+	general := []string{mechreg.UniversalShapley, mechreg.UniversalMC, mechreg.WirelessBB, mechreg.JVMoat}
+	var fams []sweepFamily
+	for si, sc := range instances.Scenarios() {
+		fams = append(fams, sweepFamily{
+			spec:  instances.Spec{Name: "sw-" + sc.Name, Scenario: sc.Name, N: n, Alpha: 2, Seed: int64(900 + si)},
+			mechs: general,
+		})
+	}
+	fams = append(fams,
+		sweepFamily{
+			spec:  instances.Spec{Name: "sw-alpha1", Scenario: "uniform", N: n, Alpha: 1, Seed: 921},
+			mechs: []string{mechreg.Alpha1Shapley, mechreg.Alpha1MC},
+		},
+		sweepFamily{
+			spec:  instances.Spec{Name: "sw-line1", Scenario: "line", N: n, Alpha: 2, Seed: 922},
+			mechs: []string{mechreg.LineShapley, mechreg.LineMC},
+		},
+	)
+	return fams
+}
+
+// sweepRequests builds the family's request grid: every mechanism at
+// receiver-set sizes 2, n/2 and n-1, each with a seeded random profile.
+func sweepRequests(nw *wireless.Network, mechs []string, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	recvs := nw.AllReceivers()
+	var reqs []Request
+	for _, name := range mechs {
+		for _, size := range []int{2, len(recvs) / 2, len(recvs)} {
+			R := append([]int(nil), recvs...)
+			rng.Shuffle(len(R), func(i, j int) { R[i], R[j] = R[j], R[i] })
+			R = R[:size]
+			u := make(mech.Profile, nw.N())
+			for _, r := range R {
+				u[r] = 1 + rng.Float64()*40
+			}
+			reqs = append(reqs, Request{Mech: name, R: R, Profile: u})
+		}
+	}
+	return reqs
+}
+
+// mutateForUpdate perturbs one station (or, on the abstract family, one
+// edge) so the version bumps and most costs of interest change.
+func mutateForUpdate(nw *wireless.Network) error {
+	if !nw.IsEuclidean() {
+		return nw.SetCost(1, 2, nw.CostMatrix().At(1, 2)*1.25+0.1)
+	}
+	i := (nw.Source() + 1) % nw.N()
+	p := nw.Points()[i].Clone()
+	p[0] += 0.07
+	return nw.MoveStation(i, p)
+}
+
+func TestRegistryScenarioDifferentialSweep(t *testing.T) {
+	const n = 9
+	for _, f := range sweepFamilies(n) {
+		f := f
+		t.Run(f.spec.Name, func(t *testing.T) {
+			nw, err := f.spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ve := NewVersioned(nw)
+			reqs := sweepRequests(ve.Network(), f.mechs, f.spec.Seed)
+
+			check := func(leg string, got, want []Response) {
+				t.Helper()
+				for i := range got {
+					if (got[i].Err == nil) != (want[i].Err == nil) {
+						t.Fatalf("%s req %d (%s): err %v vs %v", leg, i, reqs[i].Mech, got[i].Err, want[i].Err)
+					}
+					if got[i].Err == nil && !sameOutcome(got[i].Outcome, want[i].Outcome) {
+						t.Fatalf("%s req %d (%s, |R|=%d): outcomes diverge\ngot:  %+v\nwant: %+v",
+							leg, i, reqs[i].Mech, len(reqs[i].R), got[i].Outcome, want[i].Outcome)
+					}
+				}
+			}
+
+			// (a) engine width must not matter, cold or warm.
+			serial := ve.Evaluator().EvaluateBatch(reqs, 1)
+			wide := ve.Evaluator().EvaluateBatch(reqs, 8)
+			check("width 8 vs 1", wide, serial)
+
+			// (b) a memo-warm evaluator replaying the same queries.
+			replay := ve.Evaluator().EvaluateBatch(reqs, 8)
+			check("warm replay", replay, serial)
+
+			// (c) a fresh evaluator: cold substrate caches, empty memo.
+			fresh := NewEvaluator(ve.Network()).EvaluateBatch(reqs, 1)
+			check("fresh evaluator", serial, fresh)
+
+			// (d) the seed path: wireless-bb with trajectory memoization
+			// off entirely, run outside any evaluator.
+			seed := wmech.New(ve.Network(), nil)
+			seed.DisableMemo()
+			for i, r := range reqs {
+				if r.Mech != mechreg.WirelessBB {
+					continue
+				}
+				if serial[i].Err != nil {
+					t.Fatalf("wireless-bb req %d failed: %v", i, serial[i].Err)
+				}
+				if got := seed.Run(restrict(r.Profile, r.R)); !sameOutcome(serial[i].Outcome, got) {
+					t.Fatalf("memoized wireless-bb diverges from the memo-off seed path (req %d, |R|=%d)\nmemo: %+v\nseed: %+v",
+						i, len(r.R), serial[i].Outcome, got)
+				}
+			}
+
+			// (e) across an update: the swapped-in generation must match a
+			// from-scratch evaluator over the updated network — a stale
+			// memo or substrate leaking across the version bump would
+			// reproduce the *old* network's answers.
+			oldVer, newVer, _, err := ve.Update(mutateForUpdate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if newVer <= oldVer {
+				t.Fatalf("update did not bump the version: %d -> %d", oldVer, newVer)
+			}
+			after := ve.Evaluator().EvaluateBatch(reqs, 8)
+			scratch := NewEvaluator(ve.Network()).EvaluateBatch(reqs, 1)
+			check(fmt.Sprintf("post-update v%d", newVer), after, scratch)
+		})
+	}
+}

@@ -185,14 +185,14 @@ func (b *batcher) runGroup(ev *query.Evaluator, group []*admitTask) {
 	}()
 	reqs := make([]query.Request, len(group))
 	for i, t := range group {
-		reqs[i] = query.Request{Mech: t.canon.Mech, Profile: t.canon.Profile}
+		reqs[i] = query.Request{Mech: t.canon.Mech, Profile: t.canon.Profile, Approx: t.canon.Approx}
 	}
 	resps := ev.EvaluateBatch(reqs, b.workers)
 	for i, t := range group {
 		var res taskResult
 		if resps[i].Err != nil {
 			res.err = resps[i].Err
-		} else if body, err := EncodeOutcome(entry.Name, t.canon.Mech, resps[i].Outcome); err != nil {
+		} else if body, err := EncodeOutcomeCert(entry.Name, t.canon.Mech, resps[i].Outcome, resps[i].Cert); err != nil {
 			res.err = fmt.Errorf("%w: %v", errInternal, err)
 		} else {
 			b.cache.Put(t.key, body)

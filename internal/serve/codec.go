@@ -16,6 +16,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -47,7 +48,29 @@ type EvalRequest struct {
 	// Profile holds the reported utilities, indexed by station id; its
 	// length must equal the network's station count.
 	Profile []float64 `json:"profile"`
+	// Approx selects the mechanism's sampled Shapley tier; absent means
+	// exact. The canonicalized spec participates in the cache key, so an
+	// exact result and a sampled one — or two sampled ones with
+	// different budgets or seeds — can never share an entry.
+	Approx *ApproxWire `json:"approx,omitempty"`
 }
+
+// ApproxWire is the wire form of an approximate-tier selection.
+type ApproxWire struct {
+	// Samples is the permutation budget, >= 1.
+	Samples int `json:"samples"`
+	// Delta is the certificate failure probability, in (0, 1).
+	Delta float64 `json:"delta"`
+	// Seed pins the permutation stream (optional; 0 is a valid seed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ErrBadApprox marks a malformed approximate-tier spec: the request
+// shape was readable but the parameters violate the contract (samples
+// < 1, delta outside (0,1), non-finite delta). The serving layer maps it
+// to a structured 422 — a client defect in a well-formed request, not a
+// decode failure (400) and certainly not a server fault (500).
+var ErrBadApprox = errors.New("invalid approx spec")
 
 // CanonRequest is a request in canonical form: the profile is masked to
 // R (and zeroed at the source), quantized to the grid, and Key
@@ -60,7 +83,12 @@ type CanonRequest struct {
 	Network string
 	Mech    string
 	Profile mech.Profile
-	Key     string
+	// Approx is the validated sampled-tier spec, nil for exact requests.
+	// It is part of the canonical identity: Key carries a suffix derived
+	// from it, so the exact and sampled tiers (and distinct specs) occupy
+	// disjoint key spaces.
+	Approx *mech.ApproxSpec
+	Key    string
 }
 
 // mechNames is the set form of the descriptor registry's names for O(1)
@@ -93,7 +121,12 @@ var mechNames = func() map[string]bool {
 //  5. the key encodes the mechanism and the sparse nonzero entries of
 //     the canonical profile (reporting 0 is identical to not requesting
 //     service, so zeros never reach the key); the network's identity
-//     enters at the serving layer as a name+generation prefix.
+//     enters at the serving layer as a name+generation prefix;
+//  6. an approx spec, if present, must validate (samples >= 1, delta in
+//     (0,1) and finite — anything else wraps ErrBadApprox), and is
+//     appended to the key as a tier suffix: exact and sampled requests,
+//     and sampled requests with different budgets, deltas, or seeds, can
+//     never share a cache entry.
 func Canonicalize(req EvalRequest, n, source int) (CanonRequest, error) {
 	if !mechNames[req.Mech] {
 		return CanonRequest{}, fmt.Errorf("%w %q (have %s)", mechreg.ErrUnknownMechanism, req.Mech, strings.Join(mechreg.Names(), ", "))
@@ -135,6 +168,13 @@ func Canonicalize(req EvalRequest, n, source int) (CanonRequest, error) {
 		u[i] = quantize(v)
 	}
 	c := CanonRequest{Network: req.Network, Mech: req.Mech, Profile: u}
+	if req.Approx != nil {
+		spec := mech.ApproxSpec{Samples: req.Approx.Samples, Delta: req.Approx.Delta, Seed: req.Approx.Seed}
+		if err := spec.Validate(); err != nil {
+			return CanonRequest{}, fmt.Errorf("%w: %v", ErrBadApprox, err)
+		}
+		c.Approx = &spec
+	}
 	c.Key = buildKey(c)
 	return c, nil
 }
@@ -166,6 +206,20 @@ func buildKey(c CanonRequest) string {
 		b.WriteByte('=')
 		b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
 	}
+	if c.Approx != nil {
+		// The tier suffix: no profile segment can collide with it — their
+		// label left of '=' is always a decimal station index, never the
+		// word "approx" — so an exact key is never a prefix-plus-suffix of
+		// a sampled one and vice versa. Delta is rendered as an exact hex
+		// float like the utilities, so distinct specs get distinct keys.
+		b.WriteByte(0x1f)
+		b.WriteString("approx=")
+		b.WriteString(strconv.Itoa(c.Approx.Samples))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(c.Approx.Delta, 'x', -1, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(c.Approx.Seed, 10))
+	}
 	return b.String()
 }
 
@@ -182,6 +236,20 @@ type EvalResponse struct {
 	Receivers []int        `json:"receivers"`
 	Shares    []AgentShare `json:"shares"`
 	Cost      float64      `json:"cost"`
+	// Approx carries the sampled tier's certificate; absent on exact
+	// results. It is part of the cached response bytes, so a replayed
+	// sampled result reports the certificate of its cold computation.
+	Approx *ApproxCertWire `json:"approx,omitempty"`
+}
+
+// ApproxCertWire is the wire form of a sampled tier's (ε, δ)
+// certificate: with probability at least 1-delta, every reported share
+// is within epsilon of its exact Shapley value.
+type ApproxCertWire struct {
+	Samples  int     `json:"samples"`
+	Epsilon  float64 `json:"epsilon"`
+	Delta    float64 `json:"delta"`
+	DeltaMax float64 `json:"delta_max"`
 }
 
 // AgentShare is one receiver's cost share.
@@ -197,6 +265,13 @@ type AgentShare struct {
 // is an error, not a panic: the caller runs on the admission
 // dispatcher, where a panic would take down the whole daemon.
 func EncodeOutcome(network, mechName string, o mech.Outcome) ([]byte, error) {
+	return EncodeOutcomeCert(network, mechName, o, nil)
+}
+
+// EncodeOutcomeCert is EncodeOutcome for the sampled tier: a non-nil
+// cert is embedded in the response bytes (and hence in the cache). Exact
+// results pass nil and encode identically to EncodeOutcome.
+func EncodeOutcomeCert(network, mechName string, o mech.Outcome, cert *mech.ApproxCert) ([]byte, error) {
 	resp := EvalResponse{
 		Network:   network,
 		Mech:      mechName,
@@ -206,6 +281,14 @@ func EncodeOutcome(network, mechName string, o mech.Outcome) ([]byte, error) {
 	}
 	if resp.Receivers == nil {
 		resp.Receivers = []int{}
+	}
+	if cert != nil {
+		resp.Approx = &ApproxCertWire{
+			Samples:  cert.Samples,
+			Epsilon:  cert.Epsilon,
+			Delta:    cert.Delta,
+			DeltaMax: cert.DeltaMax,
+		}
 	}
 	for a, s := range o.Shares {
 		resp.Shares = append(resp.Shares, AgentShare{Agent: a, Share: s})

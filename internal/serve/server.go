@@ -10,6 +10,7 @@ import (
 
 	"wmcs/internal/instances"
 	"wmcs/internal/mechreg"
+	"wmcs/internal/query"
 )
 
 // Options tune a Server; zero values select the defaults.
@@ -257,6 +258,9 @@ type mechInfo struct {
 	Domain   string `json:"domain"`
 	PaperRef string `json:"paper_ref"`
 	Desc     string `json:"desc"`
+	// Approx advertises a sampled Shapley tier: requests may carry an
+	// "approx" object and receive an (ε, δ) certificate.
+	Approx bool `json:"approx"`
 
 	BudgetBalance     string `json:"budget_balance"` // "none" | "solution" | "optimum"
 	Beta              string `json:"beta,omitempty"` // declared factor, human form
@@ -281,6 +285,7 @@ func (s *Server) handleListMechanisms(w http.ResponseWriter, r *http.Request) {
 			Domain:            d.Domain,
 			PaperRef:          d.PaperRef,
 			Desc:              d.Desc,
+			Approx:            d.Approx,
 			BudgetBalance:     g.BB.String(),
 			Beta:              g.BetaLabel,
 			Strategyproofness: g.Strategyproofness.String(),
@@ -418,6 +423,13 @@ func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, ver 
 		return nil, "", 0, http.StatusNotFound, fmt.Errorf("unknown network %q", req.Network)
 	}
 	c, err := Canonicalize(req, entry.Net.N(), entry.Net.Source())
+	if errors.Is(err, ErrBadApprox) {
+		// The request decoded and the shape is right — the approx
+		// parameters just violate their contract. That is a semantic
+		// defect like a domain mismatch (422), not a malformed request
+		// (400), and emphatically not a server fault (500).
+		return nil, "", 0, http.StatusUnprocessableEntity, err
+	}
 	if err != nil {
 		return nil, "", 0, http.StatusBadRequest, err
 	}
@@ -453,7 +465,10 @@ func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, ver 
 // rejections clients can branch on without parsing the message:
 // "unsupported_domain" (the mechanism's declared domain does not admit
 // the target network — the combination /v1/networks would not
-// advertise) and "unknown_mechanism" (no such registry name).
+// advertise), "unknown_mechanism" (no such registry name), "bad_approx"
+// (an approx spec violating its contract) and "no_approx_tier" (an
+// approx request against a mechanism without a sampled tier — the
+// combination /v1/mechanisms would not advertise).
 type errBody struct {
 	Error   string `json:"error"`
 	Code    string `json:"code,omitempty"`
@@ -470,6 +485,10 @@ func errPayload(req EvalRequest, err error) errBody {
 		b.Code, b.Mech, b.Network = "unsupported_domain", req.Mech, req.Network
 	case errors.Is(err, mechreg.ErrUnknownMechanism):
 		b.Code, b.Mech = "unknown_mechanism", req.Mech
+	case errors.Is(err, ErrBadApprox):
+		b.Code, b.Mech = "bad_approx", req.Mech
+	case errors.Is(err, query.ErrNoApproxTier):
+		b.Code, b.Mech = "no_approx_tier", req.Mech
 	}
 	return b
 }

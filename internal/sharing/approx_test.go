@@ -1,0 +1,310 @@
+package sharing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// boundedBy reports whether every agent's sampled share is within eps of
+// its exact value. The statistical test and its non-vacuity twin share
+// this predicate: the honest certificate must satisfy it, a deliberately
+// shrunk one must not.
+func boundedBy(exact, approx map[int]float64, eps float64) bool {
+	for i, want := range exact {
+		if math.Abs(approx[i]-want) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSampledShapleyWithinCertificate draws sampled estimates on games
+// with known exact values and checks the observed error against the
+// reported Hoeffding ε for every agent, across several seeds and sample
+// budgets. With the bound's confidence at 1−δ = 99.9% per run, all runs
+// passing at fixed seeds is the expected outcome; a bound violation
+// means the certificate lies.
+func TestSampledShapleyWithinCertificate(t *testing.T) {
+	games := []struct {
+		name   string
+		agents []int
+		cost   CostFunc
+	}{
+		{"airport", []int{0, 1, 2, 3, 4}, airportCost([]float64{1, 2, 3, 4, 5})},
+		{"symmetric", []int{0, 1, 2, 3, 4, 5}, func(R []int) float64 { return 2 * float64(len(R)) }},
+		{"coverage", []int{0, 1, 2, 3}, func(R []int) float64 {
+			// Weighted coverage: union of per-agent element sets.
+			sets := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+			w := []float64{3, 1, 4, 1.5}
+			var have [4]bool
+			for _, i := range R {
+				for _, e := range sets[i] {
+					have[e] = true
+				}
+			}
+			var c float64
+			for e, ok := range have {
+				if ok {
+					c += w[e]
+				}
+			}
+			return c
+		}},
+	}
+	for _, g := range games {
+		exact := NewShapley(g.agents, g.cost).Shares(g.agents)
+		for _, samples := range []int{200, 2000} {
+			for seed := int64(1); seed <= 3; seed++ {
+				s, err := NewSampledShapley(g.agents, g.cost, samples, 1e-3, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				approx, cert := s.SharesCert(g.agents)
+				if cert.Samples != samples || cert.Delta != 1e-3 {
+					t.Fatalf("%s: cert echoes wrong parameters: %+v", g.name, cert)
+				}
+				if cert.Epsilon <= 0 || math.IsInf(cert.Epsilon, 0) || math.IsNaN(cert.Epsilon) {
+					t.Fatalf("%s: degenerate epsilon %g", g.name, cert.Epsilon)
+				}
+				if !boundedBy(exact, approx, cert.Epsilon) {
+					t.Errorf("%s seed=%d m=%d: sampled shares exceed certified ε=%g (exact %v approx %v)",
+						g.name, seed, samples, cert.Epsilon, exact, approx)
+				}
+			}
+		}
+	}
+}
+
+// TestSampledShapleyCertificateNotVacuous pins that the bound check can
+// fail at all: an intentionally undersampled run judged against a
+// certificate whose ε was shrunk far below what its sample budget
+// supports must violate the bound. If this "lying certificate" passes,
+// the statistical test above is vacuous and proves nothing.
+func TestSampledShapleyCertificateNotVacuous(t *testing.T) {
+	agents := []int{0, 1, 2, 3, 4}
+	cost := airportCost([]float64{1, 2, 3, 4, 5})
+	exact := NewShapley(agents, cost).Shares(agents)
+	failed := false
+	for seed := int64(1); seed <= 10; seed++ {
+		s, err := NewSampledShapley(agents, cost, 3, 1e-3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, cert := s.SharesCert(agents)
+		if !boundedBy(exact, approx, cert.Epsilon/200) {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("a 200x-shrunk certificate passed the bound check on every seed; the statistical test is vacuous")
+	}
+}
+
+// TestSampledShapleyDeterministic pins byte-reproducibility: equal
+// (seed, samples, R) must reproduce bit-equal shares regardless of call
+// order or instance, which is what the serving cache key relies on.
+func TestSampledShapleyDeterministic(t *testing.T) {
+	agents := []int{2, 5, 7, 11}
+	cost := airportCost([]float64{0, 0, 1, 0, 0, 2, 0, 5, 0, 0, 0, 4})
+	a, _ := NewSampledShapley(agents, cost, 50, 0.05, 42)
+	b, _ := NewSampledShapley(agents, cost, 50, 0.05, 42)
+	// Warm b with a different subset first: the shared memo must not
+	// perturb the permutation stream.
+	b.Shares([]int{2, 5})
+	s1, c1 := a.SharesCert(agents)
+	s2, c2 := b.SharesCert(agents)
+	if c1 != c2 {
+		t.Fatalf("certificates differ: %+v vs %+v", c1, c2)
+	}
+	for i := range s1 {
+		if math.Float64bits(s1[i]) != math.Float64bits(s2[i]) {
+			t.Fatalf("share[%d] not bit-equal: %x vs %x", i, s1[i], s2[i])
+		}
+	}
+	if a.Hits == 0 {
+		t.Error("no memo hits across 50 permutations; prefix reuse is not happening")
+	}
+}
+
+func TestSampledShapleyRejectsBadParameters(t *testing.T) {
+	cost := func(R []int) float64 { return float64(len(R)) }
+	if _, err := NewSampledShapley([]int{0}, cost, 0, 0.1, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+	if _, err := NewSampledShapley([]int{0}, cost, 10, 0, 1); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := NewSampledShapley([]int{0}, cost, 10, 1, 1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+	if _, err := NewSampledShapley([]int{0}, cost, 10, math.NaN(), 1); err == nil {
+		t.Error("delta=NaN accepted")
+	}
+}
+
+// TestShapleyAgentLimit is the regression test for the 64-agent mask
+// overflow: the exact constructors must reject n > 63 with the typed
+// error (historically bit 64 silently aliased), and the sampled tier —
+// the documented fallback — must keep working at n = 65.
+func TestShapleyAgentLimit(t *testing.T) {
+	agents := make([]int, 65)
+	for i := range agents {
+		agents[i] = i
+	}
+	cost := func(R []int) float64 { return float64(len(R)) }
+
+	_, err := NewShapleyChecked(agents, cost)
+	var lim *AgentLimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("NewShapleyChecked(65 agents) = %v, want *AgentLimitError", err)
+	}
+	if lim.N != 65 || lim.Limit != ShapleyAgentLimit {
+		t.Errorf("error reports N=%d Limit=%d, want 65/%d", lim.N, lim.Limit, ShapleyAgentLimit)
+	}
+	if _, err := NewIncrementalShapleyChecked(agents, cost); !errors.As(err, &lim) {
+		t.Errorf("NewIncrementalShapleyChecked(65 agents) = %v, want *AgentLimitError", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewShapley(65 agents) did not panic")
+			}
+		}()
+		NewShapley(agents, cost)
+	}()
+
+	// The sampled tier is the escape hatch: no universe cap, and on the
+	// symmetric game its estimate is exactly 1 per agent (every marginal
+	// is 1), so even a tiny budget is spot-on.
+	s, err := NewSampledShapley(agents, cost, 5, 0.1, 7)
+	if err != nil {
+		t.Fatalf("sampled tier rejected 65 agents: %v", err)
+	}
+	shares, cert := s.SharesCert(agents)
+	if len(shares) != 65 {
+		t.Fatalf("got %d shares, want 65", len(shares))
+	}
+	for i, v := range shares {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("share[%d] = %g want 1", i, v)
+		}
+	}
+	if cert.Epsilon <= 0 {
+		t.Errorf("cert epsilon %g", cert.Epsilon)
+	}
+}
+
+// TestIncrementalShapleyMatchesExactBytes is the package-level
+// differential: on oracles that are exactly null invariant, the
+// incremental evaluator must reproduce Shapley.Shares bit for bit —
+// across overlapping receiver sets, repeated calls, and null agents —
+// while actually pruning oracle work.
+func TestIncrementalShapleyMatchesExactBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(6)
+		c := make([]float64, n)
+		agents := make([]int, n)
+		zeros := 0
+		for i := range c {
+			agents[i] = i
+			if rng.Intn(3) > 0 {
+				c[i] = 0.5 + math.Round(rng.Float64()*8)/2
+			} else {
+				zeros++ // exact zero singleton: a null agent
+			}
+		}
+		cost := airportCost(c)
+		exact := NewShapley(agents, cost)
+		inc := NewIncrementalShapley(agents, cost)
+		// A sequence of overlapping subsets, repeated, as Moulin–Shenker
+		// rounds would produce.
+		var queries [][]int
+		queries = append(queries, agents)
+		for q := 0; q < 6; q++ {
+			var R []int
+			for _, a := range agents {
+				if rng.Intn(3) > 0 {
+					R = append(R, a)
+				}
+			}
+			queries = append(queries, R, R)
+		}
+		for _, R := range queries {
+			want := exact.Shares(R)
+			got := inc.Shares(R)
+			if len(want) != len(got) {
+				t.Fatalf("trial %d R=%v: %d shares vs %d", trial, R, len(got), len(want))
+			}
+			for i, w := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(w) {
+					t.Fatalf("trial %d R=%v agent %d: %x (incremental) != %x (exact)",
+						trial, R, i, math.Float64bits(got[i]), math.Float64bits(w))
+				}
+			}
+		}
+		if zeros > 0 && inc.Queries >= exactQueries(exact) {
+			t.Errorf("trial %d: incremental made %d oracle calls, exact made %d — no pruning despite %d null agents",
+				trial, inc.Queries, exactQueries(exact), zeros)
+		}
+		if inc.Queries > exactQueries(exact) {
+			t.Errorf("trial %d: incremental made %d oracle calls, exact only %d",
+				trial, inc.Queries, exactQueries(exact))
+		}
+	}
+}
+
+// exactQueries counts the distinct subsets the exact method evaluated.
+func exactQueries(s *Shapley) int { return len(s.cache) }
+
+// TestIncrementalShapleyCrossCallReuse pins the incremental claim
+// itself: re-evaluating an already-seen receiver set must cost zero new
+// oracle calls, and a subset of a seen set must only pay for its fresh
+// subsets.
+func TestIncrementalShapleyCrossCallReuse(t *testing.T) {
+	agents := []int{0, 1, 2, 3, 4, 5}
+	inc := NewIncrementalShapley(agents, airportCost([]float64{1, 2, 3, 4, 5, 6}))
+	inc.Shares(agents)
+	q0 := inc.Queries
+	inc.Shares(agents)
+	if inc.Queries != q0 {
+		t.Errorf("repeat evaluation made %d fresh oracle calls", inc.Queries-q0)
+	}
+	inc.Shares([]int{0, 2, 4})
+	if inc.Queries != q0 {
+		t.Errorf("subset of a seen set made %d fresh oracle calls", inc.Queries-q0)
+	}
+}
+
+// TestIncrementalShapleyNullAgentsPruned quantifies the submodular
+// prune: with z exact-zero singletons in a k-set, the distinct oracle
+// subsets collapse from 2^k−1 to 2^(k−z)−1.
+func TestIncrementalShapleyNullAgentsPruned(t *testing.T) {
+	c := []float64{3, 0, 5, 0, 0, 2, 1, 0} // four null agents
+	agents := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	inc := NewIncrementalShapley(agents, airportCost(c))
+	inc.Shares(agents)
+	// 2^4−1 subsets of the nonzero sub-universe, plus one discovery call
+	// per null singleton (the call that observes the exact zero).
+	want := 1<<4 - 1 + 4
+	if inc.Queries != want {
+		t.Errorf("oracle calls = %d, want %d (2^4−1 + 4 discoveries)", inc.Queries, want)
+	}
+	// And the shares still match the exact method bit for bit.
+	want2 := NewShapley(agents, airportCost(c)).Shares(agents)
+	got := inc.Shares(agents)
+	keys := make([]int, 0, len(want2))
+	for i := range want2 {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	for _, i := range keys {
+		if math.Float64bits(got[i]) != math.Float64bits(want2[i]) {
+			t.Fatalf("agent %d: %g != %g", i, got[i], want2[i])
+		}
+	}
+}

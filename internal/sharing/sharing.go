@@ -48,10 +48,42 @@ type Shapley struct {
 	fact   []float64
 }
 
-// NewShapley builds the method over a fixed agent universe (≤ 63 agents).
+// ShapleyAgentLimit is the largest universe the exact Shapley method
+// accepts: subsets are encoded as bits of a uint64 mask, so a 64th agent
+// would silently alias the sign bit and corrupt the memo table.
+const ShapleyAgentLimit = 63
+
+// AgentLimitError reports a universe too large for an exact method's
+// subset-mask representation. Callers that can degrade gracefully — the
+// approximate tier, which has no mask and no limit — should match it
+// with errors.As and route the request to NewSampledShapley instead.
+type AgentLimitError struct {
+	N     int // agents requested
+	Limit int // hard cap of the representation
+}
+
+// Error implements error.
+func (e *AgentLimitError) Error() string {
+	return fmt.Sprintf("sharing: exact Shapley limited to %d agents, got %d (use the sampled tier)", e.Limit, e.N)
+}
+
+// NewShapleyChecked is NewShapley returning *AgentLimitError instead of
+// panicking when the universe exceeds ShapleyAgentLimit. Historically the
+// constructor accepted any size and the uint64 subset masks silently
+// wrapped past 64 agents; the cap is now typed and enforced.
+func NewShapleyChecked(agents []int, cost CostFunc) (*Shapley, error) {
+	if len(agents) > ShapleyAgentLimit {
+		return nil, &AgentLimitError{N: len(agents), Limit: ShapleyAgentLimit}
+	}
+	return NewShapley(agents, cost), nil
+}
+
+// NewShapley builds the method over a fixed agent universe (≤ 63 agents);
+// it panics past the cap — use NewShapleyChecked to handle that as a
+// typed error.
 func NewShapley(agents []int, cost CostFunc) *Shapley {
-	if len(agents) > 63 {
-		panic("sharing: Shapley limited to 63 agents")
+	if len(agents) > ShapleyAgentLimit {
+		panic((&AgentLimitError{N: len(agents), Limit: ShapleyAgentLimit}).Error())
 	}
 	s := &Shapley{
 		agents: append([]int(nil), agents...),
@@ -295,4 +327,31 @@ func (m *MechanismFromMethod) Run(u mech.Profile) mech.Outcome {
 		Shares:    res.Shares,
 		Cost:      m.Cost(res.Receivers),
 	}
+}
+
+// RunApprox implements mech.ApproxRunner: the same M(ξ) iteration with ξ
+// replaced by the sampled-permutation Shapley estimator over the same
+// cost oracle, plus the Hoeffding certificate of the final round's
+// shares. The exact method m.Xi plays no part here — the tiers never
+// mix — and the certificate speaks only for the surviving receiver set:
+// with probability ≥ 1−δ each reported share is within ε of the exact
+// Shapley share of that set.
+func (m *MechanismFromMethod) RunApprox(u mech.Profile, spec mech.ApproxSpec) (mech.Outcome, mech.ApproxCert, error) {
+	if err := spec.Validate(); err != nil {
+		return mech.Outcome{}, mech.ApproxCert{}, err
+	}
+	s, err := NewSampledShapley(m.AgentSet, m.Cost, spec.Samples, spec.Delta, spec.Seed)
+	if err != nil {
+		return mech.Outcome{}, mech.ApproxCert{}, err
+	}
+	res := MoulinShenker(m.AgentSet, s, u)
+	// The final round's certificate: SharesCert on the surviving set
+	// replays the identical permutation stream against a warm memo, so
+	// this costs no fresh oracle calls.
+	_, cert := s.SharesCert(res.Receivers)
+	return mech.Outcome{
+		Receivers: res.Receivers,
+		Shares:    res.Shares,
+		Cost:      m.Cost(res.Receivers),
+	}, mech.ApproxCert(cert), nil
 }

@@ -14,6 +14,7 @@ package wmech
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"wmcs/internal/mech"
 	"wmcs/internal/memtred"
@@ -34,6 +35,15 @@ type Mechanism struct {
 	Oracle nwst.Oracle
 	rd     *memtred.Reduction
 	spool  *nwst.StatePool
+	// memo records the inner mechanism's spider trajectories per active
+	// receiver set: repeated runs (deviation probes, repeat queries)
+	// replay them instead of re-running the oracle, byte-identically.
+	// The memo's lifetime is this mechanism instance — the query layer
+	// builds a fresh mechanism per evaluator generation, so an update
+	// (query.VersionedEvaluator.Update) retires it wholesale.
+	memo *nwst.TrajectoryMemo
+	// uhPool recycles the H-node utility profiles of attempt.
+	uhPool sync.Pool
 }
 
 const eps = 1e-9
@@ -56,8 +66,15 @@ func NewFromReduction(rd *memtred.Reduction, oracle nwst.Oracle) *Mechanism {
 		Oracle: oracle,
 		rd:     rd,
 		spool:  nwst.NewStatePool(rd.G, rd.Weights),
+		memo:   nwst.NewTrajectoryMemo(0),
 	}
 }
+
+// DisableMemo turns trajectory memoization off: every attempt then
+// recomputes its full spider sequence. This is the seed evaluation
+// path, kept reachable so the differential tests can pin memoized runs
+// byte-identical against it.
+func (m *Mechanism) DisableMemo() { m.memo = nil }
 
 // Name implements mech.Mechanism.
 // Name is the package-internal default for direct constructions; the
@@ -88,17 +105,9 @@ func (m *Mechanism) RunDetailed(u mech.Profile) Result {
 		if len(dropped) == 0 {
 			break
 		}
-		drop := map[int]bool{}
-		for _, x := range dropped {
-			drop[x] = true
-		}
-		var keep []int
-		for _, a := range active {
-			if !drop[a] {
-				keep = append(keep, a)
-			}
-		}
-		active = keep
+		// Both lists are sorted, so the survivors are a sorted merge-diff
+		// — no scratch set needed.
+		active = diffSorted(active, dropped)
 	}
 	return Result{
 		Outcome:    mech.Outcome{Shares: map[int]float64{}},
@@ -114,13 +123,23 @@ func (m *Mechanism) RunDetailed(u mech.Profile) Result {
 func (m *Mechanism) attempt(u mech.Profile, active []int) (Result, []int, bool) {
 	inst := m.rd.Instance(active)
 	// Utility profile over H nodes: each receiver's input node inherits
-	// the station's report.
-	uh := make(mech.Profile, m.rd.G.N())
+	// the station's report. The buffer is pooled and zeroed, which is
+	// byte-equivalent to the fresh allocation it replaces.
+	n := m.rd.G.N()
+	uh, _ := m.uhPool.Get().(mech.Profile)
+	if cap(uh) < n {
+		uh = make(mech.Profile, n)
+	}
+	uh = uh[:n]
+	for i := range uh {
+		uh[i] = 0
+	}
 	for _, r := range active {
 		uh[m.rd.In[r]] = u[r]
 	}
-	inner := nwstmech.NewShared(inst, m.Oracle, m.spool)
+	inner := nwstmech.NewMemoized(inst, m.Oracle, m.spool, m.memo)
 	det := inner.RunDetailed(uh)
+	m.uhPool.Put(uh)
 	// Map surviving input-node terminals back to stations.
 	var served []int
 	for _, t := range det.Outcome.Receivers {
