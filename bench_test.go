@@ -55,6 +55,9 @@ func BenchmarkE10MSTRatio(b *testing.B)            { benchExperiment(b, "E10") }
 func BenchmarkE11MoatMechanism(b *testing.B)       { benchExperiment(b, "E11") }
 func BenchmarkE12Multicast(b *testing.B)           { benchExperiment(b, "E12") }
 func BenchmarkE13ScenarioSweep(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14ShareStability(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15UpdateLatency(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE15bFullRebuild(b *testing.B)        { benchExperiment(b, "E15b") }
 func BenchmarkA01TreeChoice(b *testing.B)          { benchExperiment(b, "A1") }
 func BenchmarkA04EfficiencyLoss(b *testing.B)      { benchExperiment(b, "A4") }
 
@@ -135,6 +138,45 @@ func BenchmarkEvaluatorBatch(b *testing.B) {
 		ev.EvaluateBatch(reqs, 0)
 	}
 }
+
+// --- the delta-aware update path vs the full-rebuild baseline ---
+
+// patchBench drives single-row SetCost updates through a warm versioned
+// evaluator at serving scale (n = 96, reduction + universal-shapley
+// built). The two entry points below differ only in the evaluator
+// options; their ns/op ratio is the tentpole's ≥5× claim, gated in CI
+// through the E15/E15b wall clocks.
+func patchBench(b *testing.B, opts ...query.Option) {
+	const n = 96
+	sc, err := instances.ScenarioByName("symmetric")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := sc.Gen(rand.New(rand.NewSource(27)), n, 2)
+	ve := query.NewVersioned(nw, opts...)
+	ve.Evaluator().Reduction()
+	if _, err := ve.Evaluator().Mechanism("universal-shapley"); err != nil {
+		b.Fatal(err)
+	}
+	// Alternate between two fixed values so no iteration is a same-value
+	// no-op and the costs stay bounded for any b.N.
+	c0 := nw.C(3, 7)
+	targets := [2]float64{c0 * 1.25, c0 * 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := targets[i%2]
+		if _, err := ve.Update(func(nw *wireless.Network) error {
+			_, err := nw.SetCost(3, 7, target)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPatchSingleRow(b *testing.B)   { patchBench(b) }
+func BenchmarkPatchFullRebuild(b *testing.B) { patchBench(b, query.WithoutDeltaRebuild()) }
 
 // --- micro benchmarks of the substrates ---
 

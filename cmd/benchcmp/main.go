@@ -10,6 +10,7 @@
 //	benchcmp -old BENCH_pr5.json -new BENCH_pr6.json
 //	benchcmp -old old.json -new new.json -max-regress 20 -min-ms 50
 //	benchcmp -old old.json -new new.json -assert 'E6<=1000,total<=15000'
+//	benchcmp -old old.json -new new.json -assert 'E15<=0.2*E15b'
 //
 // An experiment regresses when its wall clock grows by more than
 // -max-regress percent AND both runs are above the -min-ms noise floor
@@ -68,26 +69,43 @@ func loadDoc(path string) (timingDoc, error) {
 	return doc, nil
 }
 
-// assertion is one "ID<=ms" bound on the new run ("total" addresses
-// TotalMS).
+// assertion is one bound on the new run: "ID<=ms" (absolute, "total"
+// addresses TotalMS) or "ID<=f*REF" (relative — the wall clock may be at
+// most f times experiment REF's wall clock in the same new run, the form
+// that gates a fast path against its baseline control, e.g.
+// "E15<=0.2*E15b").
 type assertion struct {
 	ID    string
-	MaxMS float64
+	MaxMS float64 // absolute bound when Ref is empty
+	// Ref and Factor express a relative bound MaxMS = Factor × REF's
+	// wall clock, resolved against the new run at compare time.
+	Ref    string
+	Factor float64
 }
 
-// parseAsserts parses a comma-separated "E6<=1000,total<=15000" list.
+// parseAsserts parses a comma-separated "E6<=1000,E15<=0.2*E15b" list.
 func parseAsserts(s string) ([]assertion, error) {
 	var out []assertion
 	for _, f := range cliutil.SplitList(s) {
 		id, bound, ok := strings.Cut(f, "<=")
 		if !ok || strings.TrimSpace(id) == "" {
-			return nil, fmt.Errorf("assertion %q is not of the form ID<=ms", f)
+			return nil, fmt.Errorf("assertion %q is not of the form ID<=ms or ID<=factor*REF", f)
 		}
-		ms, err := strconv.ParseFloat(strings.TrimSpace(bound), 64)
-		if err != nil || ms <= 0 {
-			return nil, fmt.Errorf("assertion %q: bound must be a positive millisecond count", f)
+		a := assertion{ID: strings.TrimSpace(id)}
+		if factor, ref, ok := strings.Cut(bound, "*"); ok {
+			fv, err := strconv.ParseFloat(strings.TrimSpace(factor), 64)
+			if err != nil || fv <= 0 || strings.TrimSpace(ref) == "" {
+				return nil, fmt.Errorf("assertion %q: relative bound must be positive-factor*REF", f)
+			}
+			a.Factor, a.Ref = fv, strings.TrimSpace(ref)
+		} else {
+			ms, err := strconv.ParseFloat(strings.TrimSpace(bound), 64)
+			if err != nil || ms <= 0 {
+				return nil, fmt.Errorf("assertion %q: bound must be a positive millisecond count", f)
+			}
+			a.MaxMS = ms
 		}
-		out = append(out, assertion{ID: strings.TrimSpace(id), MaxMS: ms})
+		out = append(out, a)
 	}
 	return out, nil
 }
@@ -137,19 +155,29 @@ func compare(oldDoc, newDoc timingDoc, maxRegressPct, minMS float64, asserts []a
 	}
 	report = append(report, fmt.Sprintf("total %10.1f ms -> %10.1f ms", oldDoc.TotalMS, newDoc.TotalMS))
 	for _, a := range asserts {
+		bound, label := a.MaxMS, fmt.Sprintf("%s<=%.0f", a.ID, a.MaxMS)
+		if a.Ref != "" {
+			ref, ok := newBy[a.Ref]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("assert %s<=%g*%s: reference experiment %s missing from the new run", a.ID, a.Factor, a.Ref, a.Ref))
+				continue
+			}
+			bound = a.Factor * ref.WallMS
+			label = fmt.Sprintf("%s<=%g*%s (%.1f ms)", a.ID, a.Factor, a.Ref, bound)
+		}
 		got := newDoc.TotalMS
 		if a.ID != "total" {
 			e, ok := newBy[a.ID]
 			if !ok {
-				violations = append(violations, fmt.Sprintf("assert %s<=%.0f: no such experiment in the new run", a.ID, a.MaxMS))
+				violations = append(violations, fmt.Sprintf("assert %s: no such experiment in the new run", label))
 				continue
 			}
 			got = e.WallMS
 		}
-		if got > a.MaxMS {
-			violations = append(violations, fmt.Sprintf("assert %s<=%.0f failed: %.1f ms", a.ID, a.MaxMS, got))
+		if got > bound {
+			violations = append(violations, fmt.Sprintf("assert %s failed: %.1f ms", label, got))
 		} else {
-			report = append(report, fmt.Sprintf("assert %s<=%.0f ok (%.1f ms)", a.ID, a.MaxMS, got))
+			report = append(report, fmt.Sprintf("assert %s ok (%.1f ms)", label, got))
 		}
 	}
 	return report, violations

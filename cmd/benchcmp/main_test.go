@@ -101,7 +101,7 @@ func TestAsserts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(asserts) != 2 || asserts[0] != (assertion{"E6", 1000}) || asserts[1] != (assertion{"total", 15000}) {
+	if len(asserts) != 2 || asserts[0] != (assertion{ID: "E6", MaxMS: 1000}) || asserts[1] != (assertion{ID: "total", MaxMS: 15000}) {
 		t.Fatalf("parsed %v", asserts)
 	}
 	oldDoc := doc(false, 16000, e("E6", 900))
@@ -117,8 +117,35 @@ func TestAsserts(t *testing.T) {
 	violationsContain(t, v, "no such experiment")
 }
 
+// TestRelativeAsserts covers the "ID<=factor*REF" form gating a fast
+// path against its in-run baseline (the E15/E15b pattern).
+func TestRelativeAsserts(t *testing.T) {
+	asserts, err := parseAsserts("E15<=0.2*E15b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asserts) != 1 || asserts[0] != (assertion{ID: "E15", Factor: 0.2, Ref: "E15b"}) {
+		t.Fatalf("parsed %v", asserts)
+	}
+	oldDoc := doc(false, 100, e("E1", 60))
+	// 150 <= 0.2*1000 = 200: passes.
+	if _, v := compare(oldDoc, doc(false, 100, e("E1", 60), e("E15", 150), e("E15b", 1000)), 20, 50, asserts); len(v) != 0 {
+		t.Fatalf("passing relative assert flagged: %v", v)
+	}
+	// 300 > 200: fails.
+	_, v := compare(oldDoc, doc(false, 100, e("E1", 60), e("E15", 300), e("E15b", 1000)), 20, 50, asserts)
+	violationsContain(t, v, "assert E15<=0.2*E15b")
+	// A missing reference must fail, not pass vacuously.
+	_, v = compare(oldDoc, doc(false, 100, e("E1", 60), e("E15", 10)), 20, 50, asserts)
+	violationsContain(t, v, "reference experiment E15b missing")
+	// A missing subject likewise.
+	_, v = compare(oldDoc, doc(false, 100, e("E1", 60), e("E15b", 1000)), 20, 50, asserts)
+	violationsContain(t, v, "no such experiment")
+}
+
 func TestParseAssertsRejectsMalformed(t *testing.T) {
-	for _, bad := range []string{"E6", "E6<=", "E6<=-5", "E6<=zero", "<=100"} {
+	for _, bad := range []string{"E6", "E6<=", "E6<=-5", "E6<=zero", "<=100",
+		"E15<=*E15b", "E15<=0.2*", "E15<=-0.2*E15b", "E15<=x*E15b"} {
 		if _, err := parseAsserts(bad); err == nil {
 			t.Errorf("parseAsserts(%q) accepted", bad)
 		}

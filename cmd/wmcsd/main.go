@@ -9,6 +9,7 @@
 //	wmcsd                                  # demo networks on :8571
 //	wmcsd -addr :9000 -manifest nets.json  # a startup manifest of scenario specs
 //	wmcsd -cache 65536 -workers 8          # bigger cache, wider engine pool
+//	wmcsd -pprof 127.0.0.1:6060            # net/http/pprof on a separate loopback listener
 //
 // Endpoints: /healthz, /statsz, /v1/networks, /v1/evaluate, /v1/batch.
 // SIGINT/SIGTERM drain connections and exit 0 after logging
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,8 +40,22 @@ func main() {
 		shards   = flag.Int("shards", 0, "result-cache shard count (0 = default 16)")
 		workers  = flag.Int("workers", 0, "engine-pool width per evaluation batch: 1 = serial, 0 = GOMAXPROCS")
 		maxbatch = flag.Int("maxbatch", 0, "max queries per admission batch (0 = default 64)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	cliutil.Parse()
+
+	if *pprof != "" {
+		// A separate listener keeps the profiling surface off the public
+		// API address entirely: the v1 mux never routes /debug/pprof, and
+		// the debug mux never sees query traffic. net/http/pprof registers
+		// on http.DefaultServeMux as a side effect of the import.
+		go func() {
+			log.Printf("wmcsd: pprof on http://%s/debug/pprof/", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("wmcsd: pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	reg := serve.NewRegistry()
 	if *manifest != "" {

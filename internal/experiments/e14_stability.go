@@ -163,7 +163,7 @@ func perturb(rng *rand.Rand, nw *wireless.Network, eps float64) error {
 			for d := range p {
 				p[d] += rng.NormFloat64() * eps * spread
 			}
-			if err := nw.MoveStation(s, p); err != nil {
+			if _, err := nw.MoveStation(s, p); err != nil {
 				return err
 			}
 		}
@@ -172,7 +172,7 @@ func perturb(rng *rand.Rand, nw *wireless.Network, eps float64) error {
 	for i := 0; i < nw.N(); i++ {
 		for j := i + 1; j < nw.N(); j++ {
 			c := nw.C(i, j) * (1 + eps*(rng.Float64()*2-1))
-			if err := nw.SetCost(i, j, c); err != nil {
+			if _, err := nw.SetCost(i, j, c); err != nil {
 				return err
 			}
 		}

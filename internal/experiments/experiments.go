@@ -104,6 +104,8 @@ var All = []Experiment{
 	{ID: "E12", Name: "Multicast heuristics vs exact optimum (who wins where)", Run: E12MulticastHeuristics},
 	{ID: "E13", Name: "Scenario sweep: mechanisms × topology families", Run: E13ScenarioSweep},
 	{ID: "E14", Name: "Lifecycle: cost-share stability under ε-perturbations", Run: E14ShareStability},
+	{ID: "E15", Name: "Lifecycle: delta-aware update latency (DESIGN.md §12)", Run: E15UpdateLatency},
+	{ID: "E15b", Name: "Lifecycle: full-rebuild update baseline (control for E15)", Run: E15bUpdateLatencyFull},
 	{ID: "A1", Name: "Ablation: universal tree choice SPT vs MST", Run: A01TreeChoice},
 	{ID: "A4", Name: "Ablation: efficiency loss, Shapley vs incremental [38]", Run: A04EfficiencyLoss},
 }

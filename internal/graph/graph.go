@@ -66,6 +66,16 @@ func (g *Graph) AddVertex() int {
 // by the graph and must not be modified.
 func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
 
+// Assemble wraps pre-built adjacency lists as a graph of m edges. It is
+// the constructor for incremental rebuilds that share unchanged
+// adjacency slices with an existing graph (memtred.Rebuild): every
+// undirected edge must appear in both endpoints' lists (as Edge{From: u,
+// To: v} in adj[u] and the mirror in adj[v]) and be counted once in m.
+// Both the caller and the donor graph must treat shared lists as
+// immutable afterwards — algorithms that mutate (AddEdge/AddVertex/
+// Rewind) operate on Clones.
+func Assemble(adj [][]Edge, m int) *Graph { return &Graph{adj: adj, m: m} }
+
 // Degree returns the number of incident edges of u.
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 

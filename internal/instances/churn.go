@@ -47,8 +47,9 @@ func (u Update) Empty() bool {
 	return len(u.SetCosts) == 0 && len(u.Moves) == 0 && len(u.Disable) == 0 && len(u.Enable) == 0
 }
 
-// Ops returns the op count (each bumps the network version by one when
-// the whole update applies).
+// Ops returns the op count (an upper bound on the version bumps the
+// update performs when it applies: an op that rewrites the present state
+// — same cost, same coordinates — is a true no-op and bumps nothing).
 func (u Update) Ops() int {
 	return len(u.SetCosts) + len(u.Moves) + len(u.Disable) + len(u.Enable)
 }
@@ -59,22 +60,22 @@ func (u Update) Ops() int {
 // exactly what query.VersionedEvaluator.Update does.
 func (u Update) Apply(nw *wireless.Network) error {
 	for _, c := range u.SetCosts {
-		if err := nw.SetCost(c.I, c.J, c.Cost); err != nil {
+		if _, err := nw.SetCost(c.I, c.J, c.Cost); err != nil {
 			return err
 		}
 	}
 	for _, m := range u.Moves {
-		if err := nw.MoveStation(m.Station, geom.Point(m.Point)); err != nil {
+		if _, err := nw.MoveStation(m.Station, geom.Point(m.Point)); err != nil {
 			return err
 		}
 	}
 	for _, s := range u.Disable {
-		if err := nw.SetStationEnabled(s, false); err != nil {
+		if _, err := nw.SetStationEnabled(s, false); err != nil {
 			return err
 		}
 	}
 	for _, s := range u.Enable {
-		if err := nw.SetStationEnabled(s, true); err != nil {
+		if _, err := nw.SetStationEnabled(s, true); err != nil {
 			return err
 		}
 	}

@@ -77,6 +77,10 @@ var (
 // before (TestEvaluatorConcurrentHammer pins this under -race).
 type Evaluator struct {
 	net *wireless.Network
+	// noDelta disables the versioned evaluator's delta-aware update
+	// paths (WithoutDeltaRebuild) — carried here because options apply
+	// per evaluator and VersionedEvaluator consults the current one.
+	noDelta bool
 
 	mu        sync.Mutex
 	ctx       *mechreg.BuildContext
@@ -91,6 +95,14 @@ type Option func(*Evaluator)
 // (default nwst.BranchSpiderOracle, the paper's 1.5 ln k choice).
 func WithOracle(o nwst.Oracle) Option {
 	return func(e *Evaluator) { e.ctx.Oracle = o }
+}
+
+// WithoutDeltaRebuild makes VersionedEvaluator.Update always rebuild
+// from scratch, ignoring the mutation delta. It exists as the
+// full-rebuild baseline the E15 experiment and the differential sweep
+// compare the delta path against — production callers want the default.
+func WithoutDeltaRebuild() Option {
+	return func(e *Evaluator) { e.noDelta = true }
 }
 
 // NewEvaluator builds the query engine for a network. Construction is
@@ -117,6 +129,32 @@ func (e *Evaluator) Reduction() *memtred.Reduction {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.ctx.Reduction()
+}
+
+// builtReduction peeks at the reduction without forcing a build: the
+// versioned update path only has a donor when some query already paid
+// for one.
+func (e *Evaluator) builtReduction() *memtred.Reduction {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ctx.PeekReduction()
+}
+
+// seedReduction installs an incrementally rebuilt reduction before the
+// evaluator is published (VersionedEvaluator.Update's delta path).
+func (e *Evaluator) seedReduction(rd *memtred.Reduction) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctx.SeedReduction(rd)
+}
+
+// setSupported pre-fills the supported-name cache; used by the
+// versioned update path, which knows the set is version-invariant (the
+// mutation ops preserve the network class).
+func (e *Evaluator) setSupported(names []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.supported = names
 }
 
 // Supported lists, in registry order, the mechanism names whose declared

@@ -77,12 +77,14 @@ func sweepRequests(nw *wireless.Network, mechs []string, seed int64) []Request {
 // edge) so the version bumps and most costs of interest change.
 func mutateForUpdate(nw *wireless.Network) error {
 	if !nw.IsEuclidean() {
-		return nw.SetCost(1, 2, nw.CostMatrix().At(1, 2)*1.25+0.1)
+		_, err := nw.SetCost(1, 2, nw.CostMatrix().At(1, 2)*1.25+0.1)
+		return err
 	}
 	i := (nw.Source() + 1) % nw.N()
 	p := nw.Points()[i].Clone()
 	p[0] += 0.07
-	return nw.MoveStation(i, p)
+	_, err := nw.MoveStation(i, p)
+	return err
 }
 
 func TestRegistryScenarioDifferentialSweep(t *testing.T) {
@@ -140,20 +142,32 @@ func TestRegistryScenarioDifferentialSweep(t *testing.T) {
 				}
 			}
 
-			// (e) across an update: the swapped-in generation must match a
-			// from-scratch evaluator over the updated network — a stale
-			// memo or substrate leaking across the version bump would
-			// reproduce the *old* network's answers.
-			oldVer, newVer, _, err := ve.Update(mutateForUpdate)
+			// (e) across an update, three ways that must agree bitwise:
+			// the delta-aware rebuild (default), the full from-scratch
+			// rebuild (WithoutDeltaRebuild), and a cold evaluator over
+			// the updated network — a stale memo, a wrongly-shared
+			// substrate slice, or an unsound incremental reduction
+			// would make one of them reproduce the *old* network's
+			// answers. Both versioned paths warm the same mechanism set
+			// first (the batches above built it), so the comparison
+			// covers the warmed instances, not just lazy rebuilds.
+			veFull := NewVersioned(nw, WithoutDeltaRebuild())
+			veFull.Evaluator().EvaluateBatch(reqs, 1)
+			res, err := ve.Update(mutateForUpdate)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if newVer <= oldVer {
-				t.Fatalf("update did not bump the version: %d -> %d", oldVer, newVer)
+			if res.NewVersion <= res.OldVersion {
+				t.Fatalf("update did not bump the version: %d -> %d", res.OldVersion, res.NewVersion)
+			}
+			if _, err := veFull.Update(mutateForUpdate); err != nil {
+				t.Fatal(err)
 			}
 			after := ve.Evaluator().EvaluateBatch(reqs, 8)
+			full := veFull.Evaluator().EvaluateBatch(reqs, 8)
 			scratch := NewEvaluator(ve.Network()).EvaluateBatch(reqs, 1)
-			check(fmt.Sprintf("post-update v%d", newVer), after, scratch)
+			check(fmt.Sprintf("post-update v%d delta vs cold", res.NewVersion), after, scratch)
+			check(fmt.Sprintf("post-update v%d full vs cold", res.NewVersion), full, scratch)
 		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wmcs/internal/memtred"
 	"wmcs/internal/wireless"
 )
 
@@ -70,50 +71,126 @@ func (v *VersionedEvaluator) Version() uint64 { return v.Current().Version }
 // through Update only).
 func (v *VersionedEvaluator) Network() *wireless.Network { return v.Current().Ev.Network() }
 
+// UpdateResult reports what one Update did: the version transition, the
+// rebuild wall clock, which rebuild path ran, and the inputs the
+// serving layer's cache carry-forward pass needs (the accumulated
+// delta and the frozen old/new network snapshots).
+type UpdateResult struct {
+	// OldVersion and NewVersion are the version transition; equal for a
+	// no-op or failed update.
+	OldVersion, NewVersion uint64
+	// Rebuild is the evaluator construction + warm wall clock (0 for a
+	// no-op), the figure the serving layer histograms — split by
+	// Incremental.
+	Rebuild time.Duration
+	// Incremental reports that the delta path reused substrate: either
+	// the update canceled out bitwise (Unchanged) or the MEMT→NWST
+	// reduction was rebuilt incrementally from the outgoing evaluator's.
+	Incremental bool
+	// Unchanged reports the fast path for op sequences that cancel out
+	// bitwise (a disable+enable round trip): the outgoing evaluator is
+	// republished under the new version with zero rebuild, and every
+	// cache entry of the old version remains valid verbatim.
+	Unchanged bool
+	// RebuiltMechs counts the mechanisms warmed onto the new evaluator
+	// (0 on the Unchanged path).
+	RebuiltMechs int
+	// Delta is the accumulated change record of the update's ops.
+	Delta wireless.Delta
+	// OldNet and NewNet are the frozen pre/post network snapshots the
+	// carry-forward predicates compare (nil for no-op/failed updates).
+	OldNet, NewNet *wireless.Network
+}
+
 // Update applies mutate to a private copy of the live network and, if
-// the copy's version advanced, swaps in a freshly built evaluator over
-// it. The rules:
+// the copy's version advanced, swaps in an evaluator over it. The
+// rules:
 //
 //   - mutate sees a snapshot: if it returns an error, nothing is
 //     published — no version bump, no swap, and any partial mutations
 //     it made die with the discarded copy (updates are atomic);
-//   - a successful mutate that bumps nothing (an empty delta) is a
-//     no-op: oldVer == newVer and the current pair is untouched;
-//   - otherwise the new evaluator is *warmed* before the swap: every
-//     mechanism name the outgoing evaluator had built is rebuilt over
-//     the new substrate (in sorted name order), so the serving path
-//     never pays first-query substrate-construction latency right
-//     after an update. rebuild is the construction+warm wall clock —
-//     the figure the serving layer histograms.
+//   - a successful mutate that bumps nothing (every op a true no-op) is
+//     a no-op: OldVersion == NewVersion and the current pair is
+//     untouched;
+//   - an op sequence that cancels out bitwise (StateEqual) republishes
+//     the outgoing evaluator under the new version — zero rebuild, and
+//     byte-identity is trivial because it IS the same evaluator;
+//   - otherwise a new evaluator is built. When the accumulated delta
+//     left rows clean (a single-row SetCost) and the outgoing evaluator
+//     had built the MEMT→NWST reduction, the new one is seeded with an
+//     incremental rebuild (memtred.Rebuild) — structurally identical to
+//     a from-scratch build, so byte-identity is preserved while the
+//     dominant per-update cost scales with the dirty rows, not n³. The
+//     evaluator is then *warmed*: every mechanism name the outgoing
+//     evaluator had built is rebuilt (in sorted name order), so the
+//     serving path never pays first-query latency right after an
+//     update. Mechanism instances are never carried across versions —
+//     their trajectory memos observe the whole network, and DESIGN.md
+//     §12.2 documents why every attempted carry predicate for them is
+//     unsound. Rebuild is the construction+warm wall clock.
 //
-// Concurrent readers keep whatever pair they already resolved; the swap
-// only changes what later Current calls observe.
-func (v *VersionedEvaluator) Update(mutate func(*wireless.Network) error) (oldVer, newVer uint64, rebuild time.Duration, err error) {
+// WithoutDeltaRebuild disables the two reuse paths (the full-rebuild
+// baseline E15b measures against). Concurrent readers keep whatever
+// pair they already resolved; the swap only changes what later Current
+// calls observe.
+func (v *VersionedEvaluator) Update(mutate func(*wireless.Network) error) (UpdateResult, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	oldVer = v.live.Version()
+	res := UpdateResult{OldVersion: v.live.Version()}
+	res.NewVersion = res.OldVersion
 	work := v.live.Snapshot()
 	if err := mutate(work); err != nil {
-		return oldVer, oldVer, 0, err
+		return res, err
 	}
-	newVer = work.Version()
-	if newVer == oldVer {
-		return oldVer, oldVer, 0, nil
+	res.Delta = work.TakeDelta()
+	res.NewVersion = work.Version()
+	if res.NewVersion == res.OldVersion {
+		return res, nil
 	}
+	cur := v.cur.Load()
+	res.OldNet = cur.Ev.Network()
+	res.NewNet = work
 	start := time.Now()
+	if !cur.Ev.noDelta && v.live.StateEqual(work) {
+		res.Unchanged, res.Incremental = true, true
+		res.Rebuild = time.Since(start)
+		v.live = work
+		v.cur.Store(&Versioned{Ev: cur.Ev, Version: res.NewVersion})
+		return res, nil
+	}
 	next := NewEvaluator(work, v.opts...)
-	for _, name := range v.cur.Load().Ev.BuiltNames() {
-		if _, err := next.Mechanism(name); err != nil {
-			// Mutation ops preserve the network class, so a name the old
-			// evaluator built can only fail here if mutate swapped in an
-			// impossible state — refuse to publish it.
-			return oldVer, oldVer, 0, err
+	// The mutation ops preserve the network class, so the supported set
+	// is version-invariant — carry it instead of recomputing.
+	next.setSupported(cur.Ev.Supported())
+	if prev := cur.Ev.builtReduction(); prev != nil {
+		if !cur.Ev.noDelta && !res.Delta.AllRowsDirty() && !res.Delta.NodeSetChanged {
+			if rd := memtred.Rebuild(prev, work, res.Delta.DirtyRows); rd != nil {
+				next.seedReduction(rd)
+				res.Incremental = true
+			}
+		}
+		if !res.Incremental {
+			// The outgoing evaluator had paid for the reduction, so the
+			// warm contract extends to it: rebuild from scratch now
+			// rather than on the first post-update wireless-bb query.
+			// (The incremental branch above already installed one.)
+			next.Reduction()
 		}
 	}
-	rebuild = time.Since(start)
+	for _, name := range cur.Ev.BuiltNames() {
+		if _, err := next.Mechanism(name); err != nil {
+			// A name the old evaluator built can only fail here if mutate
+			// swapped in an impossible state — refuse to publish it.
+			res.NewVersion = res.OldVersion
+			res.Incremental, res.Rebuild, res.RebuiltMechs = false, 0, 0
+			return res, err
+		}
+		res.RebuiltMechs++
+	}
+	res.Rebuild = time.Since(start)
 	v.live = work
-	v.cur.Store(&Versioned{Ev: next, Version: newVer})
-	return oldVer, newVer, rebuild, nil
+	v.cur.Store(&Versioned{Ev: next, Version: res.NewVersion})
+	return res, nil
 }
 
 // BuiltNames lists, sorted, the mechanism names this evaluator has

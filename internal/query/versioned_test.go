@@ -32,11 +32,12 @@ func TestVersionedUpdateSwapsAndDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldVer, newVer, _, err := v.Update(func(nw *wireless.Network) error {
-		return nw.SetCost(1, 2, 0.01)
+	res, err := v.Update(func(nw *wireless.Network) error {
+		_, err := nw.SetCost(1, 2, 0.01)
+		return err
 	})
-	if err != nil || oldVer != 0 || newVer != 1 {
-		t.Fatalf("Update: old=%d new=%d err=%v", oldVer, newVer, err)
+	if err != nil || res.OldVersion != 0 || res.NewVersion != 1 {
+		t.Fatalf("Update: %+v err=%v", res, err)
 	}
 	after := v.Current()
 	if after == before || after.Version != 1 {
@@ -67,15 +68,15 @@ func TestVersionedUpdateIsAtomicOnError(t *testing.T) {
 	v := NewVersioned(symNet(6, 4))
 	before := v.Current()
 	sentinel := errors.New("boom")
-	oldVer, newVer, _, err := v.Update(func(nw *wireless.Network) error {
+	res, err := v.Update(func(nw *wireless.Network) error {
 		// Partial mutation, then failure: nothing may be published.
-		if err := nw.SetCost(1, 2, 3); err != nil {
+		if _, err := nw.SetCost(1, 2, 3); err != nil {
 			return err
 		}
 		return sentinel
 	})
-	if !errors.Is(err, sentinel) || oldVer != newVer {
-		t.Fatalf("Update: old=%d new=%d err=%v", oldVer, newVer, err)
+	if !errors.Is(err, sentinel) || res.OldVersion != res.NewVersion {
+		t.Fatalf("Update: %+v err=%v", res, err)
 	}
 	if cur := v.Current(); cur != before {
 		t.Fatal("failed update swapped the pair")
@@ -88,9 +89,9 @@ func TestVersionedUpdateIsAtomicOnError(t *testing.T) {
 func TestVersionedNoOpUpdateKeepsPair(t *testing.T) {
 	v := NewVersioned(symNet(6, 5))
 	before := v.Current()
-	oldVer, newVer, rebuild, err := v.Update(func(nw *wireless.Network) error { return nil })
-	if err != nil || oldVer != newVer || rebuild != 0 {
-		t.Fatalf("no-op update: old=%d new=%d rebuild=%v err=%v", oldVer, newVer, rebuild, err)
+	res, err := v.Update(func(nw *wireless.Network) error { return nil })
+	if err != nil || res.OldVersion != res.NewVersion || res.Rebuild != 0 {
+		t.Fatalf("no-op update: %+v err=%v", res, err)
 	}
 	if v.Current() != before {
 		t.Fatal("no-op update swapped the pair")
@@ -105,8 +106,9 @@ func TestVersionedWarmRebuild(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, _, err := v.Update(func(nw *wireless.Network) error {
-		return nw.SetCost(2, 3, 1.5)
+	if _, err := v.Update(func(nw *wireless.Network) error {
+		_, err := nw.SetCost(2, 3, 1.5)
+		return err
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestVersionedWarmRebuild(t *testing.T) {
 func TestVersionedCallerCannotMutateThroughInput(t *testing.T) {
 	nw := symNet(6, 7)
 	v := NewVersioned(nw)
-	if err := nw.SetCost(1, 2, 42); err != nil {
+	if _, err := nw.SetCost(1, 2, 42); err != nil {
 		t.Fatal(err)
 	}
 	if v.Network().C(1, 2) == 42 {
@@ -128,5 +130,115 @@ func TestVersionedCallerCannotMutateThroughInput(t *testing.T) {
 	}
 	if v.Version() != 0 {
 		t.Fatalf("version %d, want 0", v.Version())
+	}
+}
+
+// TestVersionedUnchangedFastPath: an op sequence that cancels out
+// bitwise (disable + enable) republishes the *same* evaluator object
+// under the new version — zero mechanism rebuilds, Unchanged set.
+func TestVersionedUnchangedFastPath(t *testing.T) {
+	v := NewVersioned(symNet(8, 5))
+	oldEv := v.Evaluator()
+	res, err := v.Update(func(nw *wireless.Network) error {
+		if _, err := nw.SetStationEnabled(3, false); err != nil {
+			return err
+		}
+		_, err := nw.SetStationEnabled(3, true)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unchanged || !res.Incremental || res.RebuiltMechs != 0 {
+		t.Fatalf("round trip not detected as unchanged: %+v", res)
+	}
+	if res.NewVersion != res.OldVersion+2 {
+		t.Fatalf("version transition %d -> %d, want +2", res.OldVersion, res.NewVersion)
+	}
+	if v.Evaluator() != oldEv {
+		t.Fatal("unchanged update swapped in a new evaluator")
+	}
+	if v.Version() != res.NewVersion {
+		t.Fatalf("published version %d, want %d", v.Version(), res.NewVersion)
+	}
+}
+
+// TestVersionedUnchangedFastPathDisabled: WithoutDeltaRebuild must not
+// take the fast path even when the states compare equal.
+func TestVersionedUnchangedFastPathDisabled(t *testing.T) {
+	v := NewVersioned(symNet(8, 5), WithoutDeltaRebuild())
+	oldEv := v.Evaluator()
+	res, err := v.Update(func(nw *wireless.Network) error {
+		if _, err := nw.SetStationEnabled(3, false); err != nil {
+			return err
+		}
+		_, err := nw.SetStationEnabled(3, true)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unchanged || res.Incremental {
+		t.Fatalf("baseline evaluator took a reuse path: %+v", res)
+	}
+	if v.Evaluator() == oldEv {
+		t.Fatal("baseline update did not swap the evaluator")
+	}
+}
+
+// TestVersionedIncrementalReductionSeed: after a single-row SetCost on
+// an evaluator that built the MEMT→NWST reduction, the update must
+// seed the replacement incrementally (Incremental, no Unchanged) and
+// still answer byte-identically to a cold evaluator.
+func TestVersionedIncrementalReductionSeed(t *testing.T) {
+	v := NewVersioned(symNet(9, 7))
+	u := mech.RandomProfile(rand.New(rand.NewSource(11)), 9, 50)
+	// Warm wireless-bb so the outgoing evaluator owns a reduction donor.
+	if _, err := v.Evaluator().Evaluate("wireless-bb", nil, u); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Update(func(nw *wireless.Network) error {
+		_, err := nw.SetCost(1, 2, nw.C(1, 2)*1.25)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incremental || res.Unchanged {
+		t.Fatalf("single-row SetCost did not take the incremental path: %+v", res)
+	}
+	if res.RebuiltMechs != 1 {
+		t.Fatalf("warmed %d mechanisms, want 1 (wireless-bb)", res.RebuiltMechs)
+	}
+	got, err := v.Evaluator().Evaluate("wireless-bb", nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEvaluator(v.Network()).Evaluate("wireless-bb", nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOutcome(got, want) {
+		t.Fatalf("incremental evaluator diverges from cold\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestVersionedNoOpOpsDoNotRetire: a mutate whose every op is a true
+// no-op (same-value SetCost) publishes nothing.
+func TestVersionedNoOpOpsDoNotRetire(t *testing.T) {
+	v := NewVersioned(symNet(8, 5))
+	oldEv := v.Evaluator()
+	res, err := v.Update(func(nw *wireless.Network) error {
+		_, err := nw.SetCost(1, 2, nw.C(1, 2))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewVersion != res.OldVersion || !res.Delta.Empty() || res.Rebuild != 0 {
+		t.Fatalf("no-op ops published something: %+v", res)
+	}
+	if v.Evaluator() != oldEv {
+		t.Fatal("no-op update swapped the evaluator")
 	}
 }

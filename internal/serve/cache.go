@@ -133,6 +133,32 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 }
 
+// KeysWithPrefix returns up to limit keys starting with prefix,
+// walking each shard's recency list front-to-back so the hottest
+// entries surface first — the bounded scan behind the update handler's
+// carry-forward pass. Recency is not refreshed (this is bookkeeping,
+// not a client access).
+func (c *Cache) KeysWithPrefix(prefix string, limit int) []string {
+	if limit <= 0 {
+		return nil
+	}
+	var out []string
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil && len(out) < limit; el = el.Next() {
+			if e := el.Value.(*cacheEntry); strings.HasPrefix(e.key, prefix) {
+				out = append(out, e.key)
+			}
+		}
+		s.mu.Unlock()
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
 // Delete drops one key, reporting whether it was present. The batcher
 // uses it to un-cache a result it stored for an entry that was evicted
 // mid-evaluation (see runGroup).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -172,12 +173,30 @@ type statszPayload struct {
 	// proof that an update bumped the generation in place instead of
 	// forcing an evict/re-register round-trip (the regGen half is
 	// stable across updates).
-	Updates     uint64                    `json:"updates"`
-	UpdateOps   uint64                    `json:"update_ops"`
-	RebuildUS   LatencySummary            `json:"rebuild_us"`
-	Generations map[string]string         `json:"generations"`
-	Cache       CacheStats                `json:"cache"`
-	LatencyUS   map[string]LatencySummary `json:"latency_us"`
+	Updates   uint64         `json:"updates"`
+	UpdateOps uint64         `json:"update_ops"`
+	RebuildUS LatencySummary `json:"rebuild_us"`
+	// RebuildIncrementalUS/RebuildFullUS split RebuildUS by rebuild
+	// path; their counts sum to RebuildUS.Count. CarriedEntries and
+	// DeltaRebuiltMechs are the cumulative carry-forward and
+	// delta-rebuild counters (see carry.go and query.UpdateResult).
+	RebuildIncrementalUS LatencySummary            `json:"rebuild_incremental_us"`
+	RebuildFullUS        LatencySummary            `json:"rebuild_full_us"`
+	CarriedEntries       uint64                    `json:"carried_entries"`
+	DeltaRebuiltMechs    uint64                    `json:"delta_rebuilt_mechs"`
+	Generations          map[string]string         `json:"generations"`
+	Cache                CacheStats                `json:"cache"`
+	LatencyUS            map[string]LatencySummary `json:"latency_us"`
+	Runtime              runtimeStats              `json:"runtime"`
+}
+
+// runtimeStats is the /statsz process-health block: enough to spot a
+// goroutine leak or GC pressure from a dashboard without attaching
+// pprof (wmcsd -pprof exists for the deep dive).
+type runtimeStats struct {
+	Goroutines     int    `json:"goroutines"`
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	HeapInuse      uint64 `json:"heap_inuse"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -185,20 +204,31 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	for _, e := range s.reg.Entries() {
 		gens[e.Name] = fmt.Sprintf("%d.%d", e.gen, e.Ev.Version())
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	p := statszPayload{
-		Networks:       s.reg.Len(),
-		Queries:        s.stats.Queries.Load(),
-		Coalesced:      s.stats.Coalesced.Load(),
-		Errors:         s.stats.Errors.Load(),
-		InFlight:       s.stats.InFlight.Load(),
-		Batches:        s.stats.Batches.Load(),
-		BatchedQueries: s.stats.BatchedQueries.Load(),
-		Updates:        s.stats.Updates.Load(),
-		UpdateOps:      s.stats.UpdateOps.Load(),
-		RebuildUS:      s.stats.RebuildLatency(),
-		Generations:    gens,
-		Cache:          s.cache.Stats(),
-		LatencyUS:      s.stats.Latencies(),
+		Networks:             s.reg.Len(),
+		Queries:              s.stats.Queries.Load(),
+		Coalesced:            s.stats.Coalesced.Load(),
+		Errors:               s.stats.Errors.Load(),
+		InFlight:             s.stats.InFlight.Load(),
+		Batches:              s.stats.Batches.Load(),
+		BatchedQueries:       s.stats.BatchedQueries.Load(),
+		Updates:              s.stats.Updates.Load(),
+		UpdateOps:            s.stats.UpdateOps.Load(),
+		RebuildUS:            s.stats.RebuildLatency(),
+		RebuildIncrementalUS: s.stats.RebuildIncrementalLatency(),
+		RebuildFullUS:        s.stats.RebuildFullLatency(),
+		CarriedEntries:       s.stats.CarriedEntries.Load(),
+		DeltaRebuiltMechs:    s.stats.DeltaRebuiltMechs.Load(),
+		Generations:          gens,
+		Cache:                s.cache.Stats(),
+		LatencyUS:            s.stats.Latencies(),
+		Runtime: runtimeStats{
+			Goroutines:     runtime.NumGoroutine(),
+			GCPauseTotalNS: ms.PauseTotalNs,
+			HeapInuse:      ms.HeapInuse,
+		},
 	}
 	writeJSON(w, http.StatusOK, p)
 }
@@ -326,6 +356,14 @@ type updateResponse struct {
 	Ops        int    `json:"ops"`
 	// RebuildUS is the evaluator rebuild+warm wall clock the swap paid.
 	RebuildUS float64 `json:"rebuild_us"`
+	// Incremental reports that the swap reused substrate via the delta
+	// path (the op sequence canceled out bitwise, or the MEMT→NWST
+	// reduction was rebuilt incrementally) instead of a full rebuild.
+	Incremental bool `json:"incremental"`
+	// CarriedEntries counts cache entries re-keyed from the retired
+	// version to this one because the delta proved their bytes
+	// unchanged (see carry.go).
+	CarriedEntries int `json:"carried_entries"`
 	// CacheEntriesDropped counts the retired version's purged cache
 	// entries — space reclamation only; correctness never depends on
 	// the purge (retired keys are unreachable by construction).
@@ -354,26 +392,47 @@ func (s *Server) handleUpdateNetwork(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty update: no set_costs, move, disable or enable ops")
 		return
 	}
-	oldVer, newVer, rebuild, err := entry.Ev.Update(up.Apply)
+	res, err := entry.Ev.Update(up.Apply)
 	if err != nil {
 		// Every op failure is a request defect (bad index, bad value, op
 		// outside the network's class); the update applied nothing.
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	if res.NewVersion == res.OldVersion {
+		// Every op was a true no-op (a same-value SetCost, a same-point
+		// MoveStation): no version bump, no swap, and crucially no cache
+		// retirement — the current version's entries stay hot. Not
+		// counted as an update.
+		writeJSON(w, http.StatusOK, updateResponse{
+			Network:    name,
+			OldVersion: res.OldVersion,
+			Version:    res.NewVersion,
+		})
+		return
+	}
 	s.stats.Updates.Add(1)
-	s.stats.UpdateOps.Add(uint64(newVer - oldVer))
-	s.stats.ObserveRebuild(rebuild)
+	s.stats.UpdateOps.Add(uint64(res.Delta.Ops))
+	s.stats.ObserveRebuild(res.Rebuild, res.Incremental)
+	if res.Incremental {
+		s.stats.DeltaRebuiltMechs.Add(uint64(res.RebuiltMechs))
+	}
+	// Carry provably-unchanged hot entries to the new version before the
+	// purge below retires their old keys (see carry.go).
+	carried := s.carryForward(entry, res)
+	s.stats.CarriedEntries.Add(uint64(carried))
 	// Reclaim the retired version's cache space. Correctness does not
 	// wait for this: new requests already form newVer keys, and a
 	// racing old-version Put self-deletes (see batcher.runGroup).
-	dropped := s.cache.DeletePrefix(entry.prefixFor(oldVer))
+	dropped := s.cache.DeletePrefix(entry.prefixFor(res.OldVersion))
 	writeJSON(w, http.StatusOK, updateResponse{
 		Network:             name,
-		OldVersion:          oldVer,
-		Version:             newVer,
-		Ops:                 int(newVer - oldVer),
-		RebuildUS:           float64(rebuild.Nanoseconds()) / 1e3,
+		OldVersion:          res.OldVersion,
+		Version:             res.NewVersion,
+		Ops:                 res.Delta.Ops,
+		RebuildUS:           float64(res.Rebuild.Nanoseconds()) / 1e3,
+		Incremental:         res.Incremental,
+		CarriedEntries:      carried,
 		CacheEntriesDropped: dropped,
 	})
 }

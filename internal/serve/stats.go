@@ -23,13 +23,25 @@ type Stats struct {
 	// carried (BatchedQueries/Batches is the realized batching factor).
 	Batches        atomic.Uint64
 	BatchedQueries atomic.Uint64
-	// Updates counts applied PATCH deltas (version bumps; rejected or
-	// empty deltas do not count), UpdateOps the mutation ops they
-	// carried. rebuild histograms the evaluator swap latency.
+	// Updates counts applied PATCH deltas (version bumps; rejected,
+	// empty, and all-no-op deltas do not count), UpdateOps the mutation
+	// ops they carried. rebuild histograms the evaluator swap latency
+	// over every counted update; rebuildInc/rebuildFull split it by
+	// whether the swap took the delta path (substrate reuse) or a full
+	// from-scratch rebuild, so rebuild.count == rebuildInc.count +
+	// rebuildFull.count == Updates.
 	Updates   atomic.Uint64
 	UpdateOps atomic.Uint64
+	// CarriedEntries counts cache entries the carry-forward pass
+	// re-keyed from a retired version to its successor (served bytes
+	// proven identical); DeltaRebuiltMechs the mechanisms warmed on
+	// updates that reused substrate incrementally.
+	CarriedEntries    atomic.Uint64
+	DeltaRebuiltMechs atomic.Uint64
 
-	rebuild latHist
+	rebuild     latHist
+	rebuildInc  latHist
+	rebuildFull latHist
 
 	mu  sync.Mutex
 	lat map[string]*latHist
@@ -51,11 +63,26 @@ func (s *Stats) Observe(mechName string, d time.Duration) {
 	h.observe(d)
 }
 
-// ObserveRebuild records one update's evaluator rebuild+warm latency.
-func (s *Stats) ObserveRebuild(d time.Duration) { s.rebuild.observe(d) }
+// ObserveRebuild records one update's evaluator rebuild+warm latency,
+// split by which rebuild path ran (incremental substrate reuse vs full
+// from-scratch).
+func (s *Stats) ObserveRebuild(d time.Duration, incremental bool) {
+	s.rebuild.observe(d)
+	if incremental {
+		s.rebuildInc.observe(d)
+	} else {
+		s.rebuildFull.observe(d)
+	}
+}
 
 // RebuildLatency summarizes the rebuild histogram for /statsz.
 func (s *Stats) RebuildLatency() LatencySummary { return s.rebuild.summary() }
+
+// RebuildIncrementalLatency summarizes the delta-path subset.
+func (s *Stats) RebuildIncrementalLatency() LatencySummary { return s.rebuildInc.summary() }
+
+// RebuildFullLatency summarizes the full-rebuild subset.
+func (s *Stats) RebuildFullLatency() LatencySummary { return s.rebuildFull.summary() }
 
 // LatencySummary is the /statsz digest of one mechanism's service
 // latency: count, mean, and log-bucket quantile bounds, in microseconds.

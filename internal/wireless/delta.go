@@ -1,0 +1,160 @@
+package wireless
+
+// Delta is the typed change record of a mutation-op sequence: which cost
+// rows may differ from the pre-mutation state, which stations an op
+// named directly, and whether the enabled node set changed. Consumers
+// (the versioned evaluator's incremental rebuild and the serving layer's
+// cache carry-forward, DESIGN.md §12) treat it as a sound
+// over-approximation — an entry a Delta marks clean is *guaranteed*
+// byte-unchanged; an entry it marks dirty merely may have changed.
+//
+// The contract has two layers, both preserved under Merge:
+//
+//   - row layer: cost entry c(a, b) may differ only if
+//     DirtyRows[a] && DirtyRows[b] — the entry lies in both rows, so
+//     either row being provably clean pins it;
+//   - station layer: c(a, b) may additionally differ only if
+//     Touched[a] || Touched[b] — every op changes only entries incident
+//     to a station it names. This is what keeps a MoveStation delta
+//     useful: all rows are dirty (column i changes in every row), but
+//     only pairs incident to the moved station i can differ.
+//
+// Per op: SetCost(i, j) dirties rows {i, j} and touches {i, j} (the
+// entry-exact case); MoveStation(i) and SetStationEnabled(i) dirty every
+// row and touch {i}; SetStationEnabled additionally sets NodeSetChanged.
+// A no-op (SetCost writing the present value, MoveStation to the current
+// point) contributes an empty Delta and bumps nothing.
+type Delta struct {
+	// N is the station count the flag slices are indexed by (0 for an
+	// empty delta).
+	N int
+	// DirtyRows[r] reports that cost row r may differ. nil means no row
+	// is dirty.
+	DirtyRows []bool
+	// Touched[s] reports that an op named station s directly. nil means
+	// no station was touched.
+	Touched []bool
+	// NodeSetChanged reports that a station was enabled or disabled.
+	NodeSetChanged bool
+	// Ops counts the non-no-op mutations merged in — exactly the version
+	// bumps the sequence performed.
+	Ops int
+}
+
+// Empty reports whether the delta records no effective mutation.
+func (d Delta) Empty() bool { return d.Ops == 0 }
+
+// RowDirty reports whether cost row r may differ.
+func (d Delta) RowDirty(r int) bool {
+	return d.DirtyRows != nil && r >= 0 && r < len(d.DirtyRows) && d.DirtyRows[r]
+}
+
+// DirtyRowCount returns the number of dirty rows.
+func (d Delta) DirtyRowCount() int {
+	c := 0
+	for _, b := range d.DirtyRows {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// AllRowsDirty reports whether every row is dirty (nothing row-level to
+// reuse).
+func (d Delta) AllRowsDirty() bool {
+	return d.N > 0 && d.DirtyRowCount() == d.N
+}
+
+// PairDirty reports whether entry c(a, b) may differ under both contract
+// layers. A false return is a guarantee of byte-identity.
+func (d Delta) PairDirty(a, b int) bool {
+	if !d.RowDirty(a) || !d.RowDirty(b) {
+		return false
+	}
+	ta := d.Touched != nil && a < len(d.Touched) && d.Touched[a]
+	tb := d.Touched != nil && b < len(d.Touched) && d.Touched[b]
+	return ta || tb
+}
+
+// TouchedStations returns the touched stations in increasing order.
+func (d Delta) TouchedStations() []int {
+	var out []int
+	for s, t := range d.Touched {
+		if t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Merge accumulates another delta into d. Unions are sound: an entry
+// changed by the sequence was changed by some op, whose own flags (a
+// subset of the union's) already admitted it.
+func (d *Delta) Merge(o Delta) {
+	if o.Empty() {
+		return
+	}
+	if d.N == 0 {
+		d.N = o.N
+	}
+	if o.DirtyRows != nil {
+		if d.DirtyRows == nil {
+			d.DirtyRows = make([]bool, d.N)
+		}
+		for r, b := range o.DirtyRows {
+			if b {
+				d.DirtyRows[r] = true
+			}
+		}
+	}
+	if o.Touched != nil {
+		if d.Touched == nil {
+			d.Touched = make([]bool, d.N)
+		}
+		for s, t := range o.Touched {
+			if t {
+				d.Touched[s] = true
+			}
+		}
+	}
+	d.NodeSetChanged = d.NodeSetChanged || o.NodeSetChanged
+	d.Ops += o.Ops
+}
+
+// rowsDelta builds a single-op delta touching the given stations; when
+// allRows is set every row is marked dirty (column writes reach every
+// row), otherwise only the touched stations' rows are.
+func (nw *Network) rowsDelta(touched []int, allRows, nodeSet bool) Delta {
+	n := nw.N()
+	d := Delta{N: n, NodeSetChanged: nodeSet, Ops: 1,
+		DirtyRows: make([]bool, n), Touched: make([]bool, n)}
+	for _, s := range touched {
+		d.Touched[s] = true
+		d.DirtyRows[s] = true
+	}
+	if allRows {
+		for r := range d.DirtyRows {
+			d.DirtyRows[r] = true
+		}
+	}
+	return d
+}
+
+// record merges an op's delta into the network's pending accumulator and
+// bumps the version; it returns the op delta for the caller.
+func (nw *Network) record(d Delta) Delta {
+	nw.version++
+	nw.pending.Merge(d)
+	return d
+}
+
+// TakeDelta returns the delta accumulated by mutation ops since the last
+// TakeDelta (or since construction/Snapshot — a snapshot starts with a
+// clean accumulator) and resets the accumulator. The versioned evaluator
+// drains it once per Update closure.
+func (nw *Network) TakeDelta() Delta {
+	d := nw.pending
+	nw.pending = Delta{}
+	return d
+}

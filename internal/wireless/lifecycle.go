@@ -71,6 +71,51 @@ func (nw *Network) Snapshot() *Network {
 	return c
 }
 
+// StateEqual reports whether two networks are in bitwise-identical
+// evaluation state: same station count, source, class, coordinates,
+// cost entries (exact float equality) and disabled-station bookkeeping.
+// Version and pending delta are deliberately ignored — the point of the
+// comparison is the versioned evaluator's fast path for update closures
+// whose ops cancel out (a disable+enable round trip), where the old
+// evaluator can be republished under the new version with zero rebuild.
+// The power model is not compared: mutation ops never change it, and
+// both operands of every call descend from the same snapshot chain.
+func (nw *Network) StateEqual(o *Network) bool {
+	n := nw.N()
+	if o.N() != n || o.source != nw.source || o.IsEuclidean() != nw.IsEuclidean() {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if nw.cost.At(i, j) != o.cost.At(i, j) {
+				return false
+			}
+		}
+	}
+	if nw.points != nil {
+		for i, p := range nw.points {
+			if !p.Equal(o.points[i]) {
+				return false
+			}
+		}
+	}
+	if len(nw.savedRows) != len(o.savedRows) {
+		return false
+	}
+	for i, row := range nw.savedRows {
+		orow := o.savedRows[i]
+		if orow == nil || len(orow) != len(row) {
+			return false
+		}
+		for j, w := range row {
+			if orow[j] != w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // checkStation validates a station index for a mutation op.
 func (nw *Network) checkStation(op string, i int) error {
 	if i < 0 || i >= nw.N() {
@@ -89,59 +134,70 @@ func (nw *Network) checkEnabled(op string, i int) error {
 }
 
 // SetCost assigns the symmetric transmission cost c(i, j) = c(j, i) = w
-// and bumps the version. It applies to abstract symmetric networks
-// only: on a Euclidean network costs are a function of the geometry and
-// mutating one directly would silently desynchronize the matrix from
-// the coordinates the α = 1 and d = 1 mechanisms read — move stations
-// instead (MoveStation).
-func (nw *Network) SetCost(i, j int, w float64) error {
+// and bumps the version, returning the op's Delta (rows {i, j}). It
+// applies to abstract symmetric networks only: on a Euclidean network
+// costs are a function of the geometry and mutating one directly would
+// silently desynchronize the matrix from the coordinates the α = 1 and
+// d = 1 mechanisms read — move stations instead (MoveStation). Writing
+// the value already present is a true no-op: no version bump, empty
+// delta, so the serving layer retires nothing.
+func (nw *Network) SetCost(i, j int, w float64) (Delta, error) {
 	if nw.IsEuclidean() {
-		return fmt.Errorf("wireless: SetCost: network is Euclidean; costs follow the geometry (use MoveStation)")
+		return Delta{}, fmt.Errorf("wireless: SetCost: network is Euclidean; costs follow the geometry (use MoveStation)")
 	}
 	if err := nw.checkStation("SetCost", i); err != nil {
-		return err
+		return Delta{}, err
 	}
 	if err := nw.checkStation("SetCost", j); err != nil {
-		return err
+		return Delta{}, err
 	}
 	if i == j {
-		return fmt.Errorf("wireless: SetCost: diagonal (%d,%d) is fixed at 0", i, j)
+		return Delta{}, fmt.Errorf("wireless: SetCost: diagonal (%d,%d) is fixed at 0", i, j)
 	}
 	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
-		return fmt.Errorf("wireless: SetCost(%d,%d): cost %g is not finite and nonnegative", i, j, w)
+		return Delta{}, fmt.Errorf("wireless: SetCost(%d,%d): cost %g is not finite and nonnegative", i, j, w)
 	}
 	if err := nw.checkEnabled("SetCost", i); err != nil {
-		return err
+		return Delta{}, err
 	}
 	if err := nw.checkEnabled("SetCost", j); err != nil {
-		return err
+		return Delta{}, err
+	}
+	if nw.cost.At(i, j) == w && nw.cost.At(j, i) == w {
+		return Delta{}, nil
 	}
 	nw.cost.Set(i, j, w)
-	nw.version++
-	return nil
+	return nw.record(nw.rowsDelta([]int{i, j}, false, false)), nil
 }
 
 // MoveStation relocates station i to p and recomputes its cost row from
 // the power model, keeping the matrix coherent with the coordinates. It
 // applies to Euclidean networks only and requires p to match the
-// network's dimension (a move cannot change the class).
-func (nw *Network) MoveStation(i int, p geom.Point) error {
+// network's dimension (a move cannot change the class). The returned
+// Delta dirties every row (column i changes in each) but touches only
+// station i — the refinement the carry-forward predicates exploit.
+// Moving a station to its current coordinates is a true no-op: no
+// version bump, empty delta.
+func (nw *Network) MoveStation(i int, p geom.Point) (Delta, error) {
 	if !nw.IsEuclidean() {
-		return fmt.Errorf("wireless: MoveStation: network is abstract (no coordinates; use SetCost)")
+		return Delta{}, fmt.Errorf("wireless: MoveStation: network is abstract (no coordinates; use SetCost)")
 	}
 	if err := nw.checkStation("MoveStation", i); err != nil {
-		return err
+		return Delta{}, err
 	}
 	if p.Dim() != nw.Dim() {
-		return fmt.Errorf("wireless: MoveStation: point has dimension %d, network is %d-dimensional", p.Dim(), nw.Dim())
+		return Delta{}, fmt.Errorf("wireless: MoveStation: point has dimension %d, network is %d-dimensional", p.Dim(), nw.Dim())
 	}
 	for _, v := range p {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("wireless: MoveStation: coordinate %g is not finite", v)
+			return Delta{}, fmt.Errorf("wireless: MoveStation: coordinate %g is not finite", v)
 		}
 	}
 	if err := nw.checkEnabled("MoveStation", i); err != nil {
-		return err
+		return Delta{}, err
+	}
+	if nw.points[i].Equal(p) {
+		return Delta{}, nil
 	}
 	nw.points[i] = p.Clone()
 	for j := 0; j < nw.N(); j++ {
@@ -156,8 +212,7 @@ func (nw *Network) MoveStation(i int, p geom.Point) error {
 			nw.savedRows[j][i] = nw.pc.Cost(nw.points[i], nw.points[j])
 		}
 	}
-	nw.version++
-	return nil
+	return nw.record(nw.rowsDelta([]int{i}, true, false)), nil
 }
 
 // SetStationEnabled turns station i off (every incident cost becomes
@@ -167,14 +222,14 @@ func (nw *Network) MoveStation(i int, p geom.Point) error {
 // Toggling to the current state is an error — churn drivers replaying
 // delta streams want double-disables surfaced, not absorbed. The source
 // cannot be disabled: every multicast is rooted there.
-func (nw *Network) SetStationEnabled(i int, enabled bool) error {
+func (nw *Network) SetStationEnabled(i int, enabled bool) (Delta, error) {
 	if err := nw.checkStation("SetStationEnabled", i); err != nil {
-		return err
+		return Delta{}, err
 	}
 	if enabled {
 		row := nw.savedRows[i]
 		if row == nil {
-			return fmt.Errorf("wireless: SetStationEnabled: station %d is already enabled", i)
+			return Delta{}, fmt.Errorf("wireless: SetStationEnabled: station %d is already enabled", i)
 		}
 		for j := 0; j < nw.N(); j++ {
 			if j == i {
@@ -190,14 +245,13 @@ func (nw *Network) SetStationEnabled(i int, enabled bool) error {
 			}
 		}
 		delete(nw.savedRows, i)
-		nw.version++
-		return nil
+		return nw.record(nw.rowsDelta([]int{i}, true, true)), nil
 	}
 	if i == nw.source {
-		return fmt.Errorf("wireless: SetStationEnabled: cannot disable the source station %d", i)
+		return Delta{}, fmt.Errorf("wireless: SetStationEnabled: cannot disable the source station %d", i)
 	}
 	if !nw.StationEnabled(i) {
-		return fmt.Errorf("wireless: SetStationEnabled: station %d is already disabled", i)
+		return Delta{}, fmt.Errorf("wireless: SetStationEnabled: station %d is already disabled", i)
 	}
 	row := make([]float64, nw.N())
 	for j := 0; j < nw.N(); j++ {
@@ -220,6 +274,5 @@ func (nw *Network) SetStationEnabled(i int, enabled bool) error {
 		nw.savedRows = make(map[int][]float64)
 	}
 	nw.savedRows[i] = row
-	nw.version++
-	return nil
+	return nw.record(nw.rowsDelta([]int{i}, true, true)), nil
 }

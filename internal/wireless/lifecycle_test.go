@@ -39,7 +39,7 @@ func TestSetCostSymmetricAndVersion(t *testing.T) {
 	if nw.Version() != 0 {
 		t.Fatalf("fresh network version %d, want 0", nw.Version())
 	}
-	if err := nw.SetCost(1, 3, 42.5); err != nil {
+	if _, err := nw.SetCost(1, 3, 42.5); err != nil {
 		t.Fatal(err)
 	}
 	if nw.C(1, 3) != 42.5 || nw.C(3, 1) != 42.5 {
@@ -59,7 +59,7 @@ func TestSetCostSymmetricAndVersion(t *testing.T) {
 		{0, 1, math.NaN()},  // NaN
 		{0, 1, math.Inf(1)}, // Inf
 	} {
-		if err := nw.SetCost(bad.i, bad.j, bad.w); err == nil {
+		if _, err := nw.SetCost(bad.i, bad.j, bad.w); err == nil {
 			t.Errorf("SetCost(%d,%d,%g) accepted", bad.i, bad.j, bad.w)
 		}
 	}
@@ -67,7 +67,7 @@ func TestSetCostSymmetricAndVersion(t *testing.T) {
 		t.Fatalf("failed ops bumped the version to %d", nw.Version())
 	}
 	// Euclidean networks refuse direct cost mutation.
-	if err := testEuclidean(4, 2).SetCost(1, 2, 3); err == nil {
+	if _, err := testEuclidean(4, 2).SetCost(1, 2, 3); err == nil {
 		t.Fatal("SetCost accepted on a Euclidean network")
 	}
 }
@@ -75,7 +75,7 @@ func TestSetCostSymmetricAndVersion(t *testing.T) {
 func TestMoveStationRecomputesRow(t *testing.T) {
 	nw := testEuclidean(6, 2)
 	dst := geom.Point{1.25, -3.5}
-	if err := nw.MoveStation(2, dst); err != nil {
+	if _, err := nw.MoveStation(2, dst); err != nil {
 		t.Fatal(err)
 	}
 	if !nw.Points()[2].Equal(dst) {
@@ -95,16 +95,16 @@ func TestMoveStationRecomputesRow(t *testing.T) {
 		t.Fatalf("version %d, want 1", nw.Version())
 	}
 	// Class-preserving validation.
-	if err := nw.MoveStation(2, geom.Point{1}); err == nil {
+	if _, err := nw.MoveStation(2, geom.Point{1}); err == nil {
 		t.Fatal("dimension change accepted")
 	}
-	if err := nw.MoveStation(2, geom.Point{math.NaN(), 0}); err == nil {
+	if _, err := nw.MoveStation(2, geom.Point{math.NaN(), 0}); err == nil {
 		t.Fatal("NaN coordinate accepted")
 	}
-	if err := nw.MoveStation(9, dst); err == nil {
+	if _, err := nw.MoveStation(9, dst); err == nil {
 		t.Fatal("out-of-range station accepted")
 	}
-	if err := testSymmetric(4).MoveStation(1, geom.Point{0, 0}); err == nil {
+	if _, err := testSymmetric(4).MoveStation(1, geom.Point{0, 0}); err == nil {
 		t.Fatal("MoveStation accepted on an abstract network")
 	}
 }
@@ -112,7 +112,7 @@ func TestMoveStationRecomputesRow(t *testing.T) {
 func TestDisableEnableRoundTrip(t *testing.T) {
 	nw := testSymmetric(5)
 	orig := nw.Snapshot()
-	if err := nw.SetStationEnabled(3, false); err != nil {
+	if _, err := nw.SetStationEnabled(3, false); err != nil {
 		t.Fatal(err)
 	}
 	if nw.StationEnabled(3) {
@@ -128,16 +128,16 @@ func TestDisableEnableRoundTrip(t *testing.T) {
 		t.Fatal("unrelated cost changed")
 	}
 	// Mutations touching a disabled station are rejected.
-	if err := nw.SetCost(3, 1, 7); err == nil {
+	if _, err := nw.SetCost(3, 1, 7); err == nil {
 		t.Fatal("SetCost accepted on a disabled station")
 	}
-	if err := nw.SetStationEnabled(3, false); err == nil {
+	if _, err := nw.SetStationEnabled(3, false); err == nil {
 		t.Fatal("double disable accepted")
 	}
-	if err := nw.SetStationEnabled(0, false); err == nil {
+	if _, err := nw.SetStationEnabled(0, false); err == nil {
 		t.Fatal("source disable accepted")
 	}
-	if err := nw.SetStationEnabled(3, true); err != nil {
+	if _, err := nw.SetStationEnabled(3, true); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < nw.N(); i++ {
@@ -147,7 +147,7 @@ func TestDisableEnableRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if err := nw.SetStationEnabled(3, true); err == nil {
+	if _, err := nw.SetStationEnabled(3, true); err == nil {
 		t.Fatal("double enable accepted")
 	}
 	if nw.Version() != 2 {
@@ -168,11 +168,11 @@ func TestOverlappingDisableWindowsRestoreExactly(t *testing.T) {
 		nw := testSymmetric(6)
 		orig := nw.Snapshot()
 		for _, s := range []int{3, 4} {
-			if err := nw.SetStationEnabled(s, false); err != nil {
+			if _, err := nw.SetStationEnabled(s, false); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := nw.SetStationEnabled(order[0], true); err != nil {
+		if _, err := nw.SetStationEnabled(order[0], true); err != nil {
 			t.Fatal(err)
 		}
 		// One station still down: every edge incident to it stays at
@@ -183,7 +183,7 @@ func TestOverlappingDisableWindowsRestoreExactly(t *testing.T) {
 					order, order[1], j, nw.C(order[1], j), order[1])
 			}
 		}
-		if err := nw.SetStationEnabled(order[1], true); err != nil {
+		if _, err := nw.SetStationEnabled(order[1], true); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < nw.N(); i++ {
@@ -202,16 +202,16 @@ func TestMoveWhileNeighborDisabledPatchesSavedRow(t *testing.T) {
 	// DisabledCost but update j's *saved* cost to the post-move value,
 	// so re-enabling restores geometry-coherent costs.
 	nw := testEuclidean(5, 2)
-	if err := nw.SetStationEnabled(4, false); err != nil {
+	if _, err := nw.SetStationEnabled(4, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.MoveStation(1, geom.Point{9, 9}); err != nil {
+	if _, err := nw.MoveStation(1, geom.Point{9, 9}); err != nil {
 		t.Fatal(err)
 	}
 	if nw.C(1, 4) != DisabledCost {
 		t.Fatalf("live cost to disabled neighbor %g, want DisabledCost", nw.C(1, 4))
 	}
-	if err := nw.SetStationEnabled(4, true); err != nil {
+	if _, err := nw.SetStationEnabled(4, true); err != nil {
 		t.Fatal(err)
 	}
 	want := nw.PowerModel().Cost(nw.Points()[1], nw.Points()[4])
@@ -222,20 +222,20 @@ func TestMoveWhileNeighborDisabledPatchesSavedRow(t *testing.T) {
 
 func TestSnapshotIsIndependent(t *testing.T) {
 	nw := testSymmetric(4)
-	if err := nw.SetStationEnabled(2, false); err != nil {
+	if _, err := nw.SetStationEnabled(2, false); err != nil {
 		t.Fatal(err)
 	}
 	snap := nw.Snapshot()
 	if snap.Version() != nw.Version() || snap.StationEnabled(2) {
 		t.Fatalf("snapshot state: version %d enabled(2)=%v", snap.Version(), snap.StationEnabled(2))
 	}
-	if err := nw.SetCost(0, 1, 99); err != nil {
+	if _, err := nw.SetCost(0, 1, 99); err != nil {
 		t.Fatal(err)
 	}
 	if snap.C(0, 1) == 99 {
 		t.Fatal("mutation leaked into the snapshot")
 	}
-	if err := snap.SetStationEnabled(2, true); err != nil {
+	if _, err := snap.SetStationEnabled(2, true); err != nil {
 		t.Fatal(err)
 	}
 	if nw.StationEnabled(2) {
@@ -244,7 +244,7 @@ func TestSnapshotIsIndependent(t *testing.T) {
 	// Euclidean snapshots clone the points.
 	e := testEuclidean(4, 2)
 	esnap := e.Snapshot()
-	if err := e.MoveStation(1, geom.Point{0, 0}); err != nil {
+	if _, err := e.MoveStation(1, geom.Point{0, 0}); err != nil {
 		t.Fatal(err)
 	}
 	if esnap.Points()[1].Equal(e.Points()[1]) {
@@ -258,7 +258,7 @@ func TestSnapshotIsIndependent(t *testing.T) {
 // around it.
 func TestDisabledStationIsUnattractive(t *testing.T) {
 	nw := testSymmetric(6)
-	if err := nw.SetStationEnabled(4, false); err != nil {
+	if _, err := nw.SetStationEnabled(4, false); err != nil {
 		t.Fatal(err)
 	}
 	R := []int{1, 2, 3, 5}

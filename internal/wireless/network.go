@@ -31,6 +31,10 @@ type Network struct {
 	// currently disabled stations (nil while every station is enabled).
 	version   uint64
 	savedRows map[int][]float64
+	// pending accumulates the Deltas of mutation ops since the last
+	// TakeDelta (delta.go). Snapshot deliberately does not copy it: a
+	// fresh copy starts with a clean accumulator.
+	pending Delta
 }
 
 // NewSymmetric wraps a symmetric cost matrix as a network. The matrix is

@@ -180,8 +180,8 @@ func TestPublicLifecycleSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	up := NetworkUpdate{Moves: []MoveOp{{Station: 2, Point: []float64{0.5, 0.5}}}}
-	if _, newVer, _, err := v.Update(up.Apply); err != nil || newVer != 1 {
-		t.Fatalf("Update: ver=%d err=%v", newVer, err)
+	if res, err := v.Update(up.Apply); err != nil || res.NewVersion != 1 {
+		t.Fatalf("Update: %+v err=%v", res, err)
 	}
 	after, err := v.Evaluator().Evaluate(MechUniversalShapley, nil, u)
 	if err != nil {
