@@ -9,10 +9,14 @@
 //	wmcsd                                  # demo networks on :8571
 //	wmcsd -addr :9000 -manifest nets.json  # a startup manifest of scenario specs
 //	wmcsd -cache 65536 -workers 8          # bigger cache, wider engine pool
+//	wmcsd -log json -slow 100ms            # JSON logs, 100ms slow threshold
 //	wmcsd -pprof 127.0.0.1:6060            # net/http/pprof on a separate loopback listener
 //
-// Endpoints: /healthz, /statsz, /v1/networks, /v1/evaluate, /v1/batch.
-// SIGINT/SIGTERM drain connections and exit 0 after logging
+// Endpoints: /healthz, /statsz, /metricsz, /debugz/slow, /v1/networks,
+// /v1/evaluate, /v1/batch. Logs are structured (log/slog; -log picks
+// text or JSON): startup/lifecycle records from this file plus one
+// request-summary record per non-2xx or slow request from the serving
+// layer. SIGINT/SIGTERM drain connections and exit 0 after logging
 // "clean shutdown" — CI asserts that exact phrase.
 package main
 
@@ -20,7 +24,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -34,15 +38,33 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8571", "listen address")
-		manifest = flag.String("manifest", "", "startup manifest: JSON array of scenario specs (default: a demo set)")
-		cache    = flag.Int("cache", serve.DefaultCacheCapacity, "result-cache capacity in entries (0 disables)")
-		shards   = flag.Int("shards", 0, "result-cache shard count (0 = default 16)")
-		workers  = flag.Int("workers", 0, "engine-pool width per evaluation batch: 1 = serial, 0 = GOMAXPROCS")
-		maxbatch = flag.Int("maxbatch", 0, "max queries per admission batch (0 = default 64)")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
+		addr       = flag.String("addr", ":8571", "listen address")
+		manifest   = flag.String("manifest", "", "startup manifest: JSON array of scenario specs (default: a demo set)")
+		cache      = flag.Int("cache", serve.DefaultCacheCapacity, "result-cache capacity in entries (0 disables)")
+		shards     = flag.Int("shards", 0, "result-cache shard count (0 = default 16)")
+		workers    = flag.Int("workers", 0, "engine-pool width per evaluation batch: 1 = serial, 0 = GOMAXPROCS")
+		maxbatch   = flag.Int("maxbatch", 0, "max queries per admission batch (0 = default 64)")
+		pprof      = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
+		logFormat  = flag.String("log", "text", "log format: text or json")
+		slow       = flag.Duration("slow", serve.DefaultSlowRequest, "slow-request threshold: OK responses at or above it are logged and counted (negative disables)")
+		slowTraces = flag.Int("slowtraces", serve.DefaultSlowTraces, "how many slowest traces /debugz/slow retains (negative disables)")
 	)
 	cliutil.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		cliutil.Die("-log must be text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler).With("component", "wmcsd")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if *pprof != "" {
 		// A separate listener keeps the profiling surface off the public
@@ -50,9 +72,9 @@ func main() {
 		// the debug mux never sees query traffic. net/http/pprof registers
 		// on http.DefaultServeMux as a side effect of the import.
 		go func() {
-			log.Printf("wmcsd: pprof on http://%s/debug/pprof/", *pprof)
+			logger.Info("pprof listener", "url", "http://"+*pprof+"/debug/pprof/")
 			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				log.Printf("wmcsd: pprof listener failed: %v", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
 	}
@@ -68,42 +90,54 @@ func main() {
 		if err != nil {
 			cliutil.Die("%v", err)
 		}
-		log.Printf("wmcsd: loaded %d networks from %s", n, *manifest)
+		logger.Info("loaded manifest", "networks", n, "path", *manifest)
 	} else {
 		for _, sp := range serve.DefaultSpecs() {
 			if err := reg.RegisterSpec(sp); err != nil {
 				cliutil.Die("%v", err)
 			}
 		}
-		log.Printf("wmcsd: no -manifest, hosting the %d demo networks", reg.Len())
+		logger.Info("no -manifest, hosting demo networks", "networks", reg.Len())
 	}
 	for _, e := range reg.Entries() {
-		log.Printf("wmcsd: network %-10s %d stations (source %d)", e.Name, e.Net.N(), e.Net.Source())
+		logger.Info("network", "name", e.Name, "stations", e.Net.N(), "source", e.Net.Source())
 	}
 
 	// The flag speaks the cache's own contract (0 disables, matching
-	// serve.NewCache); Options uses 0 for "unset", so translate.
+	// serve.NewCache); Options uses 0 for "unset", so translate. The
+	// same convention covers -slow and -slowtraces.
 	cacheCap := *cache
 	if cacheCap == 0 {
 		cacheCap = -1
+	}
+	slowThreshold := *slow
+	if slowThreshold == 0 {
+		slowThreshold = -1
+	}
+	ringSize := *slowTraces
+	if ringSize == 0 {
+		ringSize = -1
 	}
 	srv := serve.NewServer(reg, serve.Options{
 		CacheCapacity: cacheCap,
 		CacheShards:   *shards,
 		Workers:       *workers,
 		MaxBatch:      *maxbatch,
+		Logger:        logger,
+		SlowRequest:   slowThreshold,
+		SlowTraces:    ringSize,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("wmcsd: serving on %s", *addr)
+	logger.Info("serving", "addr", *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("wmcsd: %v, draining", s)
+		logger.Info("draining", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := httpSrv.Shutdown(ctx)
@@ -111,13 +145,13 @@ func main() {
 		if err != nil {
 			// CI greps for "clean shutdown"; a timed-out drain must not
 			// produce it.
-			log.Fatalf("wmcsd: shutdown incomplete: %v", err)
+			fatal("shutdown incomplete", "err", err)
 		}
-		log.Printf("wmcsd: clean shutdown")
+		logger.Info("clean shutdown")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			srv.Close()
-			log.Fatalf("wmcsd: %v", err)
+			fatal("listener failed", "err", err)
 		}
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"wmcs/internal/engine"
 	"wmcs/internal/instances"
 	"wmcs/internal/mechreg"
+	"wmcs/internal/obs"
 	"wmcs/internal/serve"
 	"wmcs/internal/stats"
 	"wmcs/internal/wireless"
@@ -72,6 +73,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		quick    = flag.Bool("quick", false, "small run (600 queries, 4 workers, pool 16)")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		repFile  = flag.String("report", "", "write a machine-readable JSON run report (latency summaries, hit rate, queue-wait share from /metricsz deltas) to this file")
 		noVerify = flag.Bool("no-verify", false, "skip response byte-identity verification")
 		churn    = flag.Bool("churn", false, "interleave PATCH network updates with the query stream and verify every response against a cold evaluator on its exact network version (re-registers the driven networks for a version-0 baseline)")
 		updates  = flag.Int("updates", 12, "PATCH updates to interleave in -churn mode (quick: 6)")
@@ -193,6 +195,14 @@ func main() {
 	if err != nil {
 		cliutil.Die("statsz before run: %v", err)
 	}
+	var mBefore *obs.PromDoc
+	if *repFile != "" {
+		// The scrape both feeds the report's stage deltas and certifies
+		// the exposition (strict parse + histogram checks).
+		if mBefore, err = scrapeMetrics(baseURL); err != nil {
+			cliutil.Die("%v", err)
+		}
+	}
 
 	cfg := loadConfig{
 		baseURL:  baseURL,
@@ -237,11 +247,21 @@ func main() {
 		cliutil.Die("statsz after run: %v", err)
 	}
 
-	report(run, before, after, *jsonOut, reportMeta{
+	meta := reportMeta{
 		workload: wl.Name, queries: *queries, parallel: *parallel,
 		hot: *hot, zipf: *zipfS, seed: *seed, nets: len(specs),
 		churn: churnDrv,
-	})
+	}
+	report(run, before, after, *jsonOut, meta)
+	if *repFile != "" {
+		mAfter, err := scrapeMetrics(baseURL)
+		if err != nil {
+			cliutil.Die("%v", err)
+		}
+		if err := writeRunReport(*repFile, buildRunReport(run, meta, before, after, mBefore, mAfter)); err != nil {
+			cliutil.Die("writing -report: %v", err)
+		}
+	}
 	if run.errors > 0 || run.mismatches > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file renders Prometheus text exposition format (version 0.0.4)
+// without any client library: HELP/TYPE headers, escaped labels, and a
+// cumulative-`le` histogram materialized from the serve layer's log2
+// nanosecond buckets.
+//
+// The log2 → le mapping (DESIGN.md §13.2): source bucket i counts
+// observations in [2^(i-1), 2^i) ns, so the cumulative count at
+// boundary le = 2^i seconds·1e-9 is exactly the sum of source buckets
+// 0..i — no resampling, no loss. A query answered from such a histogram
+// inherits the log2 resolution: any quantile read as "the smallest le
+// with cumulative count past the rank" is an upper bound within 2× of
+// the true latency, the same contract /statsz documents. Only
+// boundaries 2^Log2BucketLo .. 2^Log2BucketHi ns are emitted; counts
+// below the first boundary fold into it (cumulative histograms make
+// that exact) and counts above the last fold into +Inf.
+
+// Log2BucketLo and Log2BucketHi bound the emitted le boundaries:
+// 2^10 ns ≈ 1 µs up to 2^40 ns ≈ 18.3 min, 31 buckets plus +Inf.
+const (
+	Log2BucketLo = 10
+	Log2BucketHi = 40
+)
+
+// Label is one metric label pair. Writers emit labels in the order
+// given — callers keep them sorted if they care about canonical form.
+type Label struct{ Key, Value string }
+
+// PromWriter renders one exposition document. Write errors are sticky:
+// rendering continues silently (the transport notices), Err reports the
+// first failure.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps an io.Writer.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) writeString(s string) {
+	if p.err == nil {
+		_, p.err = io.WriteString(p.w, s)
+	}
+}
+
+// Header writes the HELP and TYPE lines for a metric family. typ is one
+// of "counter", "gauge", "histogram", "untyped".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.writeString("# HELP " + name + " " + escapeHelp(help) + "\n")
+	p.writeString("# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample writes one sample line with a float value.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	p.writeString(name)
+	p.labels(labels)
+	p.writeString(" " + formatValue(v) + "\n")
+}
+
+// SampleUint writes one sample line with an exact integer value
+// (counters rendered without float formatting).
+func (p *PromWriter) SampleUint(name string, labels []Label, v uint64) {
+	p.writeString(name)
+	p.labels(labels)
+	p.writeString(" " + strconv.FormatUint(v, 10) + "\n")
+}
+
+// Counter is Header + one unlabeled SampleUint — the common case for
+// the daemon's monotone atomics.
+func (p *PromWriter) Counter(name, help string, v uint64) {
+	p.Header(name, help, "counter")
+	p.SampleUint(name, nil, v)
+}
+
+// Gauge is Header + one unlabeled float Sample.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Header(name, help, "gauge")
+	p.Sample(name, nil, v)
+}
+
+// Log2Histogram writes the bucket/sum/count series of one histogram
+// series (labels identify the series; the caller writes the family
+// Header once). buckets[i] counts observations in [2^(i-1), 2^i) ns;
+// sumNS and count are the histogram's running totals.
+func (p *PromWriter) Log2Histogram(name string, labels []Label, buckets []uint64, count, sumNS uint64) {
+	var cum uint64
+	next := 0
+	for i := Log2BucketLo; i <= Log2BucketHi; i++ {
+		for next <= i && next < len(buckets) {
+			cum += buckets[next]
+			next++
+		}
+		le := float64(uint64(1)<<uint(i)) / 1e9
+		p.SampleUint(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatValue(le)}), cum)
+	}
+	p.SampleUint(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), count)
+	p.Sample(name+"_sum", labels, float64(sumNS)/1e9)
+	p.SampleUint(name+"_count", labels, count)
+}
+
+func (p *PromWriter) labels(labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	p.writeString("{")
+	for i, l := range labels {
+		if i > 0 {
+			p.writeString(",")
+		}
+		p.writeString(l.Key + "=\"" + escapeLabel(l.Value) + "\"")
+	}
+	p.writeString("}")
+}
+
+// formatValue renders a float the exposition way: shortest round-trip
+// form, "+Inf"/"-Inf"/"NaN" spelled the Prometheus way.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromWriterRoundTrip: everything the writer emits, the parser
+// accepts — headers, escaped labels, counters, gauges, and the log2
+// histogram — and the parsed values equal what went in.
+func TestPromWriterRoundTrip(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("wmcs_requests_total", "Requests admitted.", 42)
+	p.Gauge("wmcs_in_flight_requests", "Gauge of requests inside handlers.", 3)
+	p.Header("wmcs_network_version", "Per-network lifecycle version.", "gauge")
+	p.Sample("wmcs_network_version", []Label{{"network", `we"ird\net`}}, 7)
+
+	// A histogram with observations in known buckets: bucket 12 holds
+	// [2^11, 2^12) ns, bucket 20 holds [2^19, 2^20) ns.
+	buckets := make([]uint64, 48)
+	buckets[12] = 3
+	buckets[20] = 2
+	p.Header("wmcs_request_duration_seconds", "Service latency.", "histogram")
+	p.Log2Histogram("wmcs_request_duration_seconds", []Label{{"mech", "wireless-bb"}}, buckets, 5, 5_000_000)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse of own exposition failed: %v\n%s", err, b.String())
+	}
+	if v, ok := doc.Get("wmcs_requests_total", nil); !ok || v != 42 {
+		t.Fatalf("requests_total = %v, %v", v, ok)
+	}
+	if v, ok := doc.Get("wmcs_network_version", map[string]string{"network": `we"ird\net`}); !ok || v != 7 {
+		t.Fatalf("escaped label round-trip failed: %v, %v", v, ok)
+	}
+	if f := doc.Families["wmcs_request_duration_seconds"]; f.Type != "histogram" {
+		t.Fatalf("histogram family type = %q", f.Type)
+	}
+	if err := doc.CheckHistograms(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cumulative mapping: the le = 2^12 ns boundary must already hold
+	// the 3 observations of source bucket 12 ([2^11, 2^12) ns); the
+	// le = 2^19 boundary must still hold 3 (bucket 20 is above it); the
+	// le = 2^20 boundary and +Inf hold all 5.
+	le := func(exp int) string { return formatValue(float64(uint64(1)<<uint(exp)) / 1e9) }
+	cases := []struct {
+		le   string
+		want float64
+	}{{le(12), 3}, {le(19), 3}, {le(20), 5}, {"+Inf", 5}}
+	for _, c := range cases {
+		v, ok := doc.Get("wmcs_request_duration_seconds_bucket",
+			map[string]string{"mech": "wireless-bb", "le": c.le})
+		if !ok || v != c.want {
+			t.Fatalf("bucket le=%s = %v (ok=%v), want %v", c.le, v, ok, c.want)
+		}
+	}
+	if v, ok := doc.Get("wmcs_request_duration_seconds_sum", map[string]string{"mech": "wireless-bb"}); !ok || math.Abs(v-0.005) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.005", v)
+	}
+	if v, ok := doc.Get("wmcs_request_duration_seconds_count", map[string]string{"mech": "wireless-bb"}); !ok || v != 5 {
+		t.Fatalf("count = %v, want 5", v)
+	}
+}
+
+// TestLog2HistogramFolding: observations below the first emitted
+// boundary fold into it; observations above the last fold into +Inf
+// only — so bucket counts stay monotone and +Inf equals count.
+func TestLog2HistogramFolding(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	buckets := make([]uint64, 48)
+	buckets[2] = 7              // ~2-4 ns: below the 2^10 boundary
+	buckets[Log2BucketHi+3] = 1 // above the last emitted boundary
+	p.Header("h", "fold test", "histogram")
+	p.Log2Histogram("h", nil, buckets, 8, 1000)
+	doc, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.CheckHistograms(); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := doc.Get("h_bucket", map[string]string{"le": formatValue(float64(uint64(1)<<Log2BucketLo) / 1e9)})
+	if !ok || first != 7 {
+		t.Fatalf("first bucket = %v, want 7 (folded down)", first)
+	}
+	last, ok := doc.Get("h_bucket", map[string]string{"le": formatValue(float64(uint64(1)<<Log2BucketHi) / 1e9)})
+	if !ok || last != 7 {
+		t.Fatalf("last finite bucket = %v, want 7 (the high outlier only in +Inf)", last)
+	}
+	inf, ok := doc.Get("h_bucket", map[string]string{"le": "+Inf"})
+	if !ok || inf != 8 {
+		t.Fatalf("+Inf bucket = %v, want 8", inf)
+	}
+}
+
+// TestParserRejectsMalformed: the parser is a validator — every
+// malformed line is an error.
+func TestParserRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"wmcs_requests_total",              // no value
+		"wmcs_requests_total notanumber",   // bad value
+		`x{le="0.1} 3`,                     // unterminated label value
+		`x{le=0.1} 3`,                      // unquoted label value
+		`x{9le="0.1"} 3`,                   // bad label name
+		"# TYPE wmcs_requests_total blorp", // unknown type
+		"0bad_name 3",                      // metric names cannot start with a digit
+	}
+	for _, line := range bad {
+		if _, err := ParseProm(strings.NewReader(line + "\n")); err == nil {
+			t.Fatalf("parser accepted %q", line)
+		}
+	}
+	// And a benign document parses.
+	ok := "# some comment\n\n# HELP a b\n# TYPE a counter\na 1\na_more{x=\"y\"} 2.5e-3 1700000000\n"
+	doc, err := ParseProm(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Get("a_more", map[string]string{"x": "y"}); v != 2.5e-3 {
+		t.Fatalf("timestamped sample value = %v", v)
+	}
+}
+
+// TestCheckHistogramsCatchesViolations: hand-built bad expositions fail
+// the structural checks the /metricsz test relies on.
+func TestCheckHistogramsCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"non-monotone": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"no +Inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+		"missing sum":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+	}
+	for name, text := range cases {
+		doc, err := ParseProm(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if err := doc.CheckHistograms(); err == nil {
+			t.Fatalf("%s: CheckHistograms accepted a bad histogram", name)
+		}
+	}
+}

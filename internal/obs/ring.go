@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowRing retains the N slowest trace snapshots seen since boot: a
+// bounded min-heap keyed by total duration, so admission is O(log N)
+// and a fast trace under a full ring costs one comparison under the
+// lock. "Slowest since boot" (not "recent slow") is the deliberate
+// semantics — the ring answers "what do our worst requests spend their
+// time on", and the worst offenders must not be rotated out by a stream
+// of merely-slow ones (DESIGN.md §13.3).
+type SlowRing struct {
+	mu  sync.Mutex
+	cap int
+	h   snapHeap
+}
+
+// NewSlowRing builds a ring retaining the n slowest traces (n >= 1).
+func NewSlowRing(n int) *SlowRing {
+	if n < 1 {
+		n = 1
+	}
+	return &SlowRing{cap: n, h: make(snapHeap, 0, n)}
+}
+
+// Offer considers a finished trace for retention; it snapshots only
+// when the trace is admitted, so rejected offers allocate nothing.
+func (r *SlowRing) Offer(t *Trace) {
+	total := t.Total()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.h) < r.cap {
+		heap.Push(&r.h, ringEntry{total: total, snap: t.Snapshot()})
+		return
+	}
+	if total <= r.h[0].total {
+		return
+	}
+	r.h[0] = ringEntry{total: total, snap: t.Snapshot()}
+	heap.Fix(&r.h, 0)
+}
+
+// Slowest returns the retained snapshots, slowest first.
+func (r *SlowRing) Slowest() []Snapshot {
+	r.mu.Lock()
+	entries := make([]ringEntry, len(r.h))
+	copy(entries, r.h)
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].total > entries[j].total })
+	out := make([]Snapshot, len(entries))
+	for i, e := range entries {
+		out[i] = e.snap
+	}
+	return out
+}
+
+// Len reports how many snapshots the ring holds.
+func (r *SlowRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.h)
+}
+
+type ringEntry struct {
+	total time.Duration
+	snap  Snapshot
+}
+
+type snapHeap []ringEntry
+
+func (h snapHeap) Len() int           { return len(h) }
+func (h snapHeap) Less(i, j int) bool { return h[i].total < h[j].total }
+func (h snapHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *snapHeap) Push(x any)        { *h = append(*h, x.(ringEntry)) }
+func (h *snapHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

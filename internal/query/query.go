@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"wmcs/internal/engine"
 	"wmcs/internal/mech"
@@ -277,14 +278,37 @@ type Response struct {
 func (e *Evaluator) EvaluateBatch(reqs []Request, workers int) []Response {
 	pool := engine.New(workers)
 	return engine.Map(pool, len(reqs), func(i int) Response {
-		if spec := reqs[i].Approx; spec != nil {
-			o, cert, err := e.EvaluateApprox(reqs[i].Mech, reqs[i].R, reqs[i].Profile, *spec)
-			if err != nil {
-				return Response{Err: err}
-			}
-			return Response{Outcome: o, Cert: &cert}
-		}
-		o, err := e.Evaluate(reqs[i].Mech, reqs[i].R, reqs[i].Profile)
-		return Response{Outcome: o, Err: err}
+		return e.evalOne(reqs[i])
 	})
+}
+
+// EvaluateBatchTimed is EvaluateBatch plus per-request timing: durs[i]
+// is how long request i's own evaluation took on its worker — the
+// serving layer's per-stage attribution hook (the batch's total wall
+// time is the caller's to measure around the call). Timing reads the
+// clock twice per request and never influences the result bytes, so
+// the determinism contract of EvaluateBatch carries over unchanged.
+func (e *Evaluator) EvaluateBatchTimed(reqs []Request, workers int) ([]Response, []time.Duration) {
+	durs := make([]time.Duration, len(reqs))
+	pool := engine.New(workers)
+	resps := engine.Map(pool, len(reqs), func(i int) Response {
+		start := time.Now()
+		r := e.evalOne(reqs[i])
+		durs[i] = time.Since(start)
+		return r
+	})
+	return resps, durs
+}
+
+// evalOne dispatches one batch element to the exact or sampled tier.
+func (e *Evaluator) evalOne(req Request) Response {
+	if spec := req.Approx; spec != nil {
+		o, cert, err := e.EvaluateApprox(req.Mech, req.R, req.Profile, *spec)
+		if err != nil {
+			return Response{Err: err}
+		}
+		return Response{Outcome: o, Cert: &cert}
+	}
+	o, err := e.Evaluate(req.Mech, req.R, req.Profile)
+	return Response{Outcome: o, Err: err}
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"wmcs/internal/obs"
 	"wmcs/internal/query"
 )
 
@@ -52,6 +54,41 @@ type admitTask struct {
 	canon CanonRequest
 	key   string // full cache key (generation/version prefix + canon.Key)
 	reply chan taskResult
+
+	// enq and spans are the task's trace bookkeeping. The dispatcher owns
+	// spans until it sends the reply; the submitting handler replays them
+	// into its own *obs.Trace only after receiving from the reply channel,
+	// so the two goroutines never touch a trace concurrently (the channel
+	// edge is the happens-before). Fixed-size: the dispatcher records at
+	// most queue_wait, evaluate, compute and encode.
+	enq    time.Time
+	spans  [4]spanRec
+	nspans int
+}
+
+// spanRec is a dispatcher-side span: absolute start plus duration,
+// converted to a trace-relative obs.Span at replay time.
+type spanRec struct {
+	st    obs.Stage
+	start time.Time
+	dur   time.Duration
+}
+
+// span records one dispatcher-side stage; over-recording is dropped
+// (mirrors obs.Trace semantics).
+func (t *admitTask) span(st obs.Stage, start time.Time, d time.Duration) {
+	if t.nspans < len(t.spans) {
+		t.spans[t.nspans] = spanRec{st: st, start: start, dur: d}
+		t.nspans++
+	}
+}
+
+// replay copies the dispatcher-recorded spans into the handler's trace.
+// Call only from the goroutine that owns tr, after <-t.reply.
+func (t *admitTask) replay(tr *obs.Trace) {
+	for _, s := range t.spans[:t.nspans] {
+		tr.Record(s.st, s.start, s.dur)
+	}
 }
 
 type taskResult struct {
@@ -78,9 +115,13 @@ func newBatcher(cache *Cache, stats *Stats, workers, maxBatch int) *batcher {
 
 // do evaluates one canonical query through the admission queue and
 // blocks for its result. Callers sit behind the singleflight group, so
-// at most one task per distinct key is in the queue at a time.
-func (b *batcher) do(entry *NetworkEntry, ev *query.Evaluator, ver uint64, c CanonRequest, key string) ([]byte, error) {
-	t := &admitTask{entry: entry, ev: ev, ver: ver, canon: c, key: key, reply: make(chan taskResult, 1)}
+// at most one task per distinct key is in the queue at a time. tr (nil
+// ok) receives the dispatcher-side spans — replayed here, on the
+// caller's goroutine, never on the shutdown path where the trace may
+// already be released by the time the dispatcher drains the task.
+func (b *batcher) do(entry *NetworkEntry, ev *query.Evaluator, ver uint64, c CanonRequest, key string, tr *obs.Trace) ([]byte, error) {
+	t := &admitTask{entry: entry, ev: ev, ver: ver, canon: c, key: key,
+		reply: make(chan taskResult, 1), enq: time.Now()}
 	select {
 	case b.tasks <- t:
 	case <-b.quit:
@@ -88,6 +129,7 @@ func (b *batcher) do(entry *NetworkEntry, ev *query.Evaluator, ver uint64, c Can
 	}
 	select {
 	case r := <-t.reply:
+		t.replay(tr)
 		return r.body, r.err
 	case <-b.quit:
 		// The dispatcher may have exited between our enqueue and its
@@ -95,6 +137,7 @@ func (b *batcher) do(entry *NetworkEntry, ev *query.Evaluator, ver uint64, c Can
 		// buffered, so a late dispatcher reply never blocks either way).
 		select {
 		case r := <-t.reply:
+			t.replay(tr)
 			return r.body, r.err
 		default:
 			return nil, errShuttingDown
@@ -183,13 +226,29 @@ func (b *batcher) runGroup(ev *query.Evaluator, group []*admitTask) {
 			}
 		}
 	}()
+	// Per-task queue wait ends when this group's evaluation starts; a
+	// group later in the round legitimately waits through its
+	// predecessors' evaluations.
+	groupStart := time.Now()
+	for _, t := range group {
+		t.span(obs.StageQueueWait, t.enq, groupStart.Sub(t.enq))
+	}
 	reqs := make([]query.Request, len(group))
 	for i, t := range group {
 		reqs[i] = query.Request{Mech: t.canon.Mech, Profile: t.canon.Profile, Approx: t.canon.Approx}
 	}
-	resps := ev.EvaluateBatch(reqs, b.workers)
+	resps, durs := ev.EvaluateBatchTimed(reqs, b.workers)
+	evalDur := time.Since(groupStart)
+	for i, t := range group {
+		// Every task shares the round's evaluate wall; its own compute
+		// time nests inside (start aligned to the batch start — the
+		// engine does not report per-request scheduling offsets).
+		t.span(obs.StageEvaluate, groupStart, evalDur)
+		t.span(obs.StageCompute, groupStart, durs[i])
+	}
 	for i, t := range group {
 		var res taskResult
+		encStart := time.Now()
 		if resps[i].Err != nil {
 			res.err = resps[i].Err
 		} else if body, err := EncodeOutcomeCert(entry.Name, t.canon.Mech, resps[i].Outcome, resps[i].Cert); err != nil {
@@ -210,6 +269,7 @@ func (b *batcher) runGroup(ev *query.Evaluator, group []*admitTask) {
 				b.cache.Delete(t.key)
 			}
 			res.body = body
+			t.span(obs.StageEncode, encStart, time.Since(encStart))
 		}
 		replied++
 		t.reply <- res

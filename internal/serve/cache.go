@@ -195,6 +195,25 @@ func (c *Cache) DeletePrefix(prefix string) int {
 	return dropped
 }
 
+// PrefixStats counts the entries whose keys start with prefix and the
+// bytes they hold — the per-network cache gauges of /metricsz. A full
+// walk under the shard locks, like DeletePrefix: scrape-rate work, not
+// hot-path work.
+func (c *Cache) PrefixStats(prefix string) (entries, bytes int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.entries {
+			if strings.HasPrefix(key, prefix) {
+				entries++
+				bytes += len(el.Value.(*cacheEntry).val)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return entries, bytes
+}
+
 // Stats sums the shard counters.
 func (c *Cache) Stats() CacheStats {
 	var st CacheStats

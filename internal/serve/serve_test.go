@@ -459,7 +459,7 @@ func TestBatcherSurvivesEvaluationPanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.batch.do(bad, nil, 0, c, bad.prefixFor(0)+c.Key); !errors.Is(err, errInternal) {
+	if _, err := s.batch.do(bad, nil, 0, c, bad.prefixFor(0)+c.Key, nil); !errors.Is(err, errInternal) {
 		t.Fatalf("panicking evaluation: err=%v, want errInternal (mapped to 500, not 422)", err)
 	}
 	// The dispatcher survived: a well-formed query still answers.
@@ -490,7 +490,7 @@ func TestEvictMidFlightLeavesNoDeadCacheEntry(t *testing.T) {
 	s.cache.DeletePrefix(networkKeyPrefix("uni"))
 	cur := entry.Ev.Current()
 	key := entry.prefixFor(cur.Version) + c.Key
-	body, err := s.batch.do(entry, cur.Ev, cur.Version, c, key)
+	body, err := s.batch.do(entry, cur.Ev, cur.Version, c, key, nil)
 	if err != nil || len(body) == 0 {
 		t.Fatalf("in-flight task after evict: body=%q err=%v", body, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"wmcs/internal/instances"
 	"wmcs/internal/mechreg"
+	"wmcs/internal/obs"
 	"wmcs/internal/query"
 )
 
@@ -35,6 +37,19 @@ type Options struct {
 	// MaxBatchRequest caps the element count of one /v1/batch request
 	// (default 1024).
 	MaxBatchRequest int
+	// Logger receives one structured request-summary record per non-2xx
+	// or slow request (DESIGN.md §13.4). nil disables request logging —
+	// tests and in-process embedders stay silent.
+	Logger *slog.Logger
+	// SlowRequest is the wall-time threshold at or above which an
+	// otherwise healthy request is logged, counted in SlowRequests, and
+	// worth a look in /debugz/slow. 0 selects DefaultSlowRequest;
+	// negative disables slow classification.
+	SlowRequest time.Duration
+	// SlowTraces is the capacity of the slowest-trace ring behind
+	// /debugz/slow. 0 selects DefaultSlowTraces; negative disables
+	// retention (the endpoint then always answers an empty list).
+	SlowTraces int
 }
 
 // Server is the HTTP face of the query service. Create with NewServer,
@@ -45,6 +60,8 @@ type Options struct {
 //
 //	GET    /healthz              liveness ("ok")
 //	GET    /statsz               counters + per-mechanism latency quantiles
+//	GET    /metricsz             Prometheus text-format exposition of the same counters
+//	GET    /debugz/slow          the slowest request traces since boot
 //	GET    /v1/mechanisms        the mechanism registry: names, domains, guarantees
 //	GET    /v1/networks          hosted networks + the mechanisms each supports
 //	POST   /v1/networks          register a scenario spec (instances.Spec JSON)
@@ -60,6 +77,10 @@ type Server struct {
 	batch  *batcher
 	mux    *http.ServeMux
 	opts   Options
+	tracer *obs.Tracer
+	logger *slog.Logger
+	slow   time.Duration // resolved SlowRequest; <= 0 disables
+	boot   time.Time     // process-start anchor for wmcs_uptime_seconds
 }
 
 // NewServer builds a server over a registry. The registry may be shared
@@ -72,16 +93,28 @@ func NewServer(reg *Registry, opts Options) *Server {
 	if opts.CacheCapacity == 0 {
 		opts.CacheCapacity = DefaultCacheCapacity
 	}
+	if opts.SlowRequest == 0 {
+		opts.SlowRequest = DefaultSlowRequest
+	}
+	if opts.SlowTraces == 0 {
+		opts.SlowTraces = DefaultSlowTraces
+	}
 	s := &Server{
-		reg:   reg,
-		cache: NewCache(opts.CacheCapacity, opts.CacheShards),
-		stats: NewStats(),
-		opts:  opts,
+		reg:    reg,
+		cache:  NewCache(opts.CacheCapacity, opts.CacheShards),
+		stats:  NewStats(),
+		opts:   opts,
+		tracer: obs.NewTracer(opts.SlowTraces),
+		logger: opts.Logger,
+		slow:   opts.SlowRequest,
+		boot:   time.Now(),
 	}
 	s.batch = newBatcher(s.cache, s.stats, opts.Workers, opts.MaxBatch)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /debugz/slow", s.handleSlowTraces)
 	mux.HandleFunc("GET /v1/mechanisms", s.handleListMechanisms)
 	mux.HandleFunc("GET /v1/networks", s.handleListNetworks)
 	mux.HandleFunc("POST /v1/networks", s.handleRegisterNetwork)
@@ -121,7 +154,7 @@ func (s *Server) EvaluateCanon(c CanonRequest) (body []byte, source string, err 
 	if err := entry.CheckMech(c.Mech); err != nil {
 		return nil, "", err
 	}
-	body, source, _, err = s.evaluateEntry(entry, c)
+	body, source, _, err = s.evaluateEntry(entry, c, nil)
 	return body, source, err
 }
 
@@ -133,19 +166,27 @@ func (s *Server) EvaluateCanon(c CanonRequest) (body []byte, source string, err 
 // evict/re-register cycles *and* in-place updates can neither serve nor
 // poison another network state's results, and the returned version
 // always describes the state that produced the bytes.
-func (s *Server) evaluateEntry(entry *NetworkEntry, c CanonRequest) (body []byte, source string, ver uint64, err error) {
+func (s *Server) evaluateEntry(entry *NetworkEntry, c CanonRequest, tr *obs.Trace) (body []byte, source string, ver uint64, err error) {
 	cur := entry.Ev.Current()
 	key := entry.prefixFor(cur.Version) + c.Key
-	if body, ok := s.cache.Get(key); ok {
+	lookupStart := time.Now()
+	body, ok := s.cache.Get(key)
+	tr.RecordSince(obs.StageCacheLookup, lookupStart)
+	if ok {
 		return body, "hit", cur.Version, nil
 	}
+	// The flight leader's closure runs on this goroutine, so handing tr
+	// down is race-free; a follower's closure never runs, so its trace
+	// sees the whole wait as one coalesce span instead.
+	flightStart := time.Now()
 	body, err, shared := s.flight.Do(key, func() ([]byte, error) {
-		return s.batch.do(entry, cur.Ev, cur.Version, c, key)
+		return s.batch.do(entry, cur.Ev, cur.Version, c, key, tr)
 	})
 	if err != nil {
 		return nil, "", cur.Version, err
 	}
 	if shared {
+		tr.RecordSince(obs.StageCoalesce, flightStart)
 		s.stats.Coalesced.Add(1)
 		return body, "coalesced", cur.Version, nil
 	}
@@ -377,33 +418,49 @@ type updateResponse struct {
 // re-register round-trip. In-flight queries drain against the old
 // state; queries admitted after the swap see only the new one.
 func (s *Server) handleUpdateNetwork(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer.Start("update")
+	defer s.closeTrace(tr, true)
+	w.Header().Set("X-Wmcs-Trace", tr.ID)
 	name := r.PathValue("name")
+	tr.Network = name
 	entry, ok := s.reg.Get(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown network %q", name))
+		tr.Status = http.StatusNotFound
+		tr.Err = fmt.Sprintf("unknown network %q", name)
+		writeErr(w, http.StatusNotFound, tr.Err)
 		return
 	}
 	var up instances.Update
 	if err := decodeJSON(r, &up); err != nil {
+		tr.RecordSince(obs.StageAdmission, tr.Begin)
+		tr.Status, tr.Err = http.StatusBadRequest, err.Error()
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if up.Empty() {
-		writeErr(w, http.StatusBadRequest, "empty update: no set_costs, move, disable or enable ops")
+		tr.RecordSince(obs.StageAdmission, tr.Begin)
+		tr.Status, tr.Err = http.StatusBadRequest, "empty update: no set_costs, move, disable or enable ops"
+		writeErr(w, http.StatusBadRequest, tr.Err)
 		return
 	}
+	tr.RecordSince(obs.StageAdmission, tr.Begin)
+	rebuildStart := time.Now()
 	res, err := entry.Ev.Update(up.Apply)
+	tr.RecordSince(obs.StageRebuild, rebuildStart)
 	if err != nil {
 		// Every op failure is a request defect (bad index, bad value, op
 		// outside the network's class); the update applied nothing.
+		tr.Status, tr.Err = http.StatusUnprocessableEntity, err.Error()
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	tr.Version = res.NewVersion
 	if res.NewVersion == res.OldVersion {
 		// Every op was a true no-op (a same-value SetCost, a same-point
 		// MoveStation): no version bump, no swap, and crucially no cache
 		// retirement — the current version's entries stay hot. Not
 		// counted as an update.
+		tr.Status = http.StatusOK
 		writeJSON(w, http.StatusOK, updateResponse{
 			Network:    name,
 			OldVersion: res.OldVersion,
@@ -419,12 +476,17 @@ func (s *Server) handleUpdateNetwork(w http.ResponseWriter, r *http.Request) {
 	}
 	// Carry provably-unchanged hot entries to the new version before the
 	// purge below retires their old keys (see carry.go).
+	carryStart := time.Now()
 	carried := s.carryForward(entry, res)
+	tr.RecordSince(obs.StageCarryForward, carryStart)
 	s.stats.CarriedEntries.Add(uint64(carried))
 	// Reclaim the retired version's cache space. Correctness does not
 	// wait for this: new requests already form newVer keys, and a
 	// racing old-version Put self-deletes (see batcher.runGroup).
+	purgeStart := time.Now()
 	dropped := s.cache.DeletePrefix(entry.prefixFor(res.OldVersion))
+	tr.RecordSince(obs.StagePurge, purgeStart)
+	tr.Status = http.StatusOK
 	writeJSON(w, http.StatusOK, updateResponse{
 		Network:             name,
 		OldVersion:          res.OldVersion,
@@ -448,40 +510,51 @@ func (s *Server) handleEvictNetwork(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	s.stats.InFlight.Add(1)
-	defer s.stats.InFlight.Add(-1)
+	defer s.stats.TrackInFlight()()
+	tr := s.tracer.Start("evaluate")
+	defer s.closeTrace(tr, true)
+	w.Header().Set("X-Wmcs-Trace", tr.ID)
+	traced := wantTrace(r)
 	var req EvalRequest
 	if err := decodeJSON(r, &req); err != nil {
+		tr.RecordSince(obs.StageAdmission, tr.Begin)
+		tr.Status, tr.Err = http.StatusBadRequest, err.Error()
 		s.stats.Errors.Add(1)
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	start := time.Now()
-	body, source, ver, code, err := s.evaluateWire(req)
+	tr.RecordSince(obs.StageAdmission, tr.Begin)
+	tr.Network, tr.Mech = req.Network, req.Mech
+	body, source, ver, code, err := s.evaluateWire(req, tr)
+	tr.Version = ver
 	if err != nil {
+		tr.Status, tr.Err = code, err.Error()
 		s.stats.Errors.Add(1)
 		writeJSON(w, code, errPayload(req, err))
 		return
 	}
-	s.stats.Observe(req.Mech, time.Since(start))
-	w.Header().Set("Content-Type", "application/json")
+	tr.Source = sourceWord(source)
+	s.stats.Observe(req.Mech, time.Since(tr.Begin))
 	w.Header().Set("X-Wmcs-Cache", source)
 	// The network version the response was computed against — what a
 	// churn driver needs to byte-verify against the matching replica.
 	w.Header().Set("X-Wmcs-Version", strconv.FormatUint(ver, 10))
-	w.Write(body)
+	s.writeTraced(w, traced, tr, http.StatusOK, body)
 }
 
 // evaluateWire is the single-query path shared by /v1/evaluate and each
 // /v1/batch element: resolve the network, canonicalize, admit. ver is
 // the network version the answer was computed against. The returned
-// code is the HTTP status for a non-nil error.
-func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, ver uint64, code int, err error) {
+// code is the HTTP status for a non-nil error. tr (nil ok) collects the
+// canonicalize span here and the deeper pipeline spans downstream.
+func (s *Server) evaluateWire(req EvalRequest, tr *obs.Trace) (body []byte, source string, ver uint64, code int, err error) {
 	entry, ok := s.reg.Get(req.Network)
 	if !ok {
 		return nil, "", 0, http.StatusNotFound, fmt.Errorf("unknown network %q", req.Network)
 	}
+	canonStart := time.Now()
 	c, err := Canonicalize(req, entry.Net.N(), entry.Net.Source())
+	tr.RecordSince(obs.StageCanonicalize, canonStart)
 	if errors.Is(err, ErrBadApprox) {
 		// The request decoded and the shape is right — the approx
 		// parameters just violate their contract. That is a semantic
@@ -501,7 +574,7 @@ func (s *Server) evaluateWire(req EvalRequest) (body []byte, source string, ver 
 		return nil, "", 0, http.StatusUnprocessableEntity, err
 	}
 	s.stats.Queries.Add(1)
-	body, source, ver, err = s.evaluateEntry(entry, c)
+	body, source, ver, err = s.evaluateEntry(entry, c, tr)
 	if errors.Is(err, errShuttingDown) {
 		// Retryable against another replica or after restart — must not
 		// look like a client error.
@@ -568,36 +641,54 @@ func (e batchElem) MarshalJSON() ([]byte, error) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.stats.InFlight.Add(1)
-	defer s.stats.InFlight.Add(-1)
+	defer s.stats.TrackInFlight()()
+	tr := s.tracer.Start("batch")
+	// The outer batch trace skips the stage histograms: its fan-out span
+	// is a batch-level wall, not a per-request pipeline stage (the
+	// children feed the histograms instead).
+	defer s.closeTrace(tr, false)
+	w.Header().Set("X-Wmcs-Trace", tr.ID)
 	var reqs []EvalRequest
 	if err := decodeJSON(r, &reqs); err != nil {
+		tr.RecordSince(obs.StageAdmission, tr.Begin)
+		tr.Status, tr.Err = http.StatusBadRequest, err.Error()
 		s.stats.Errors.Add(1)
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(reqs) > s.opts.MaxBatchRequest {
+		tr.RecordSince(obs.StageAdmission, tr.Begin)
+		tr.Status = http.StatusRequestEntityTooLarge
+		tr.Err = fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), s.opts.MaxBatchRequest)
 		s.stats.Errors.Add(1)
-		writeErr(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), s.opts.MaxBatchRequest))
+		writeErr(w, http.StatusRequestEntityTooLarge, tr.Err)
 		return
 	}
+	tr.RecordSince(obs.StageAdmission, tr.Begin)
 	// Fan the elements out concurrently: distinct queries pile into the
 	// admission queue together (one engine batch), identical ones
 	// coalesce in the flight group, hits return immediately. Each
-	// element times itself so the per-mechanism quantiles reflect
-	// per-query service latency, not the whole batch's wall clock.
+	// element carries a child trace (ID "<batch>.<i>") and times itself,
+	// so the per-mechanism quantiles reflect per-query service latency,
+	// not the whole batch's wall clock — and a slow element ranks in
+	// /debugz/slow individually, pointing back at its batch.
+	fanStart := time.Now()
 	elems := make([]batchElem, len(reqs))
 	done := make(chan int, len(reqs))
 	for i := range reqs {
 		go func(i int) {
-			start := time.Now()
-			body, _, _, _, err := s.evaluateWire(reqs[i])
+			ct := s.tracer.StartChild(tr, i)
+			defer s.closeTrace(ct, true)
+			ct.Network, ct.Mech = reqs[i].Network, reqs[i].Mech
+			body, source, ver, code, err := s.evaluateWire(reqs[i], ct)
+			ct.Version = ver
 			elems[i] = batchElem{req: reqs[i], body: body, err: err}
 			if err != nil {
+				ct.Status, ct.Err = code, err.Error()
 				s.stats.Errors.Add(1)
 			} else {
-				s.stats.Observe(reqs[i].Mech, time.Since(start))
+				ct.Status, ct.Source = http.StatusOK, sourceWord(source)
+				s.stats.Observe(reqs[i].Mech, time.Since(ct.Begin))
 			}
 			done <- i
 		}(i)
@@ -605,7 +696,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for range reqs {
 		<-done
 	}
+	tr.RecordSince(obs.StageEvaluate, fanStart)
+	encStart := time.Now()
+	tr.Status = http.StatusOK
+	if wantTrace(r) {
+		// The envelope embeds the canonical batch body verbatim; marshal
+		// it first so the trace's encode span covers the real work.
+		body, err := json.Marshal(elems)
+		if err != nil {
+			tr.Status, tr.Err = http.StatusInternalServerError, err.Error()
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		tr.Record(obs.StageEncode, encStart, time.Since(encStart))
+		writeJSON(w, http.StatusOK, tracedResponse{Trace: tr.Snapshot(), Response: body})
+		return
+	}
 	writeJSON(w, http.StatusOK, elems)
+	tr.Record(obs.StageEncode, encStart, time.Since(encStart))
 }
 
 // maxBodyBytes bounds request bodies (a 100k-station profile is ~2MB;

@@ -5,11 +5,15 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wmcs/internal/mechreg"
+	"wmcs/internal/obs"
 )
 
 // Stats carries the service's expvar-style counters: monotonically
-// increasing atomics sampled (never reset) by /statsz. Cache hit/miss
-// counts live in the Cache itself; these cover admission and execution.
+// increasing atomics sampled (never reset) by /statsz and /metricsz.
+// Cache hit/miss counts live in the Cache itself; these cover admission
+// and execution.
 type Stats struct {
 	// Queries counts /v1/evaluate requests admitted (batch elements
 	// included); Coalesced the subset served by riding on a concurrent
@@ -17,8 +21,16 @@ type Stats struct {
 	Queries   atomic.Uint64
 	Coalesced atomic.Uint64
 	Errors    atomic.Uint64
-	// InFlight is the gauge of requests currently inside a handler.
+	// InFlight is the gauge of requests currently inside an evaluate or
+	// batch handler. Every increment pairs with a deferred decrement
+	// taken before any other work (TrackInFlight), so the gauge drains
+	// to zero on every exit path — decode failures, 404s, canonicalize
+	// rejects, 422s, and recovered dispatcher panics included
+	// (TestInFlightDrainsOnErrorPaths hammers exactly those).
 	InFlight atomic.Int64
+	// SlowRequests counts OK responses slower than the server's slow
+	// threshold — the numerator of a cheap SLO burn signal.
+	SlowRequests atomic.Uint64
 	// Batches counts dispatcher rounds; BatchedQueries the tasks they
 	// carried (BatchedQueries/Batches is the realized batching factor).
 	Batches        atomic.Uint64
@@ -43,24 +55,80 @@ type Stats struct {
 	rebuildInc  latHist
 	rebuildFull latHist
 
-	mu  sync.Mutex
-	lat map[string]*latHist
+	// stages histograms request time by pipeline stage (obs.Stage), fed
+	// from finished traces: the per-stage split behind
+	// wmcs_stage_duration_seconds and wmcsload's queue-wait share.
+	stages [obs.NumStages]latHist
+
+	// known is the pre-registered per-mechanism latency histogram set:
+	// one entry per registry name, built at construction and immutable
+	// afterwards, so the per-request lookup on the hot path is one
+	// lock-free map read (BenchmarkStatsObserveKnown pins it at 0
+	// allocs with no mutex in the profile). Names outside the registry
+	// (hand-built test entries) fall back to the RWMutex-guarded extra
+	// map — the slow path a production request never takes, since the
+	// codec rejects unknown mechanism names before Observe runs.
+	known map[string]*latHist
+	mu    sync.RWMutex
+	extra map[string]*latHist
 }
 
-// NewStats returns an empty counter set.
-func NewStats() *Stats { return &Stats{lat: make(map[string]*latHist)} }
+// NewStats returns a counter set with every registry mechanism's
+// histogram pre-registered.
+func NewStats() *Stats {
+	names := mechreg.Names()
+	s := &Stats{
+		known: make(map[string]*latHist, len(names)),
+		extra: make(map[string]*latHist),
+	}
+	for _, n := range names {
+		s.known[n] = &latHist{}
+	}
+	return s
+}
+
+// TrackInFlight increments the in-flight gauge and returns its paired
+// decrement, for use as `defer s.TrackInFlight()()` as a handler's
+// first statement — the defer fires on every exit path including
+// panics, which is what makes the gauge provably drain to zero.
+func (s *Stats) TrackInFlight() func() {
+	s.InFlight.Add(1)
+	return func() { s.InFlight.Add(-1) }
+}
+
+// hist resolves the latency histogram for a mechanism name: lock-free
+// for pre-registered names, RWMutex fallback otherwise.
+func (s *Stats) hist(mechName string) *latHist {
+	if h, ok := s.known[mechName]; ok {
+		return h
+	}
+	s.mu.RLock()
+	h, ok := s.extra[mechName]
+	s.mu.RUnlock()
+	if ok {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.extra[mechName]; ok {
+		return h
+	}
+	h = &latHist{}
+	s.extra[mechName] = h
+	return h
+}
 
 // Observe records one request's service latency under its mechanism
 // name (admission to response, cache hits included).
 func (s *Stats) Observe(mechName string, d time.Duration) {
-	s.mu.Lock()
-	h, ok := s.lat[mechName]
-	if !ok {
-		h = &latHist{}
-		s.lat[mechName] = h
+	s.hist(mechName).observe(d)
+}
+
+// ObserveStage records one span's duration under its pipeline stage.
+func (s *Stats) ObserveStage(st obs.Stage, d time.Duration) {
+	if st < obs.NumStages {
+		s.stages[st].observe(d)
 	}
-	s.mu.Unlock()
-	h.observe(d)
 }
 
 // ObserveRebuild records one update's evaluator rebuild+warm latency,
@@ -94,27 +162,93 @@ type LatencySummary struct {
 	P99US  float64 `json:"p99_us"`
 }
 
-// Latencies snapshots every mechanism's summary, keyed by name.
+// Latencies snapshots every observed mechanism's summary, keyed by name
+// (pre-registered names with zero observations are omitted, matching
+// the pre-PR-8 behavior of the lazily-populated map).
 func (s *Stats) Latencies() map[string]LatencySummary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]LatencySummary, len(s.lat))
-	for name, h := range s.lat {
-		out[name] = h.summary()
-	}
+	out := make(map[string]LatencySummary)
+	s.eachHist(func(name string, h *latHist) {
+		if h.count.Load() > 0 {
+			out[name] = h.summary()
+		}
+	})
 	return out
 }
 
 // MechNames returns the mechanisms observed so far, sorted.
 func (s *Stats) MechNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.lat))
-	for n := range s.lat {
-		names = append(names, n)
-	}
+	var names []string
+	s.eachHist(func(name string, h *latHist) {
+		if h.count.Load() > 0 {
+			names = append(names, name)
+		}
+	})
 	sort.Strings(names)
 	return names
+}
+
+// histSnap is one named histogram's raw exposition data (see
+// latHist.snapshot for the consistency contract).
+type histSnap struct {
+	name    string
+	buckets [latBuckets]uint64
+	count   uint64
+	sumNS   uint64
+}
+
+// MechHistograms snapshots every observed mechanism's latency histogram,
+// sorted by name — the deterministic series order /metricsz emits.
+// Zero-count histograms are omitted, matching Latencies.
+func (s *Stats) MechHistograms() []histSnap {
+	var out []histSnap
+	s.eachHist(func(name string, h *latHist) {
+		b, c, sum := h.snapshot()
+		if c > 0 {
+			out = append(out, histSnap{name: name, buckets: b, count: c, sumNS: sum})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// StageHistograms snapshots the per-stage histograms in obs.Stage order,
+// zero-count stages included: the stage label set is fixed, which is
+// what lets a scraper (wmcsload -report) diff two scrapes without
+// series appearing in between.
+func (s *Stats) StageHistograms() []histSnap {
+	out := make([]histSnap, obs.NumStages)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		b, c, sum := s.stages[st].snapshot()
+		out[st] = histSnap{name: st.String(), buckets: b, count: c, sumNS: sum}
+	}
+	return out
+}
+
+// RebuildHistograms snapshots the PATCH rebuild histograms split by
+// path, in fixed order: "incremental", then "full".
+func (s *Stats) RebuildHistograms() []histSnap {
+	var out []histSnap
+	for _, p := range []struct {
+		name string
+		h    *latHist
+	}{{"incremental", &s.rebuildInc}, {"full", &s.rebuildFull}} {
+		b, c, sum := p.h.snapshot()
+		out = append(out, histSnap{name: p.name, buckets: b, count: c, sumNS: sum})
+	}
+	return out
+}
+
+// eachHist visits every per-mechanism histogram, known and extra, in
+// unspecified order.
+func (s *Stats) eachHist(fn func(name string, h *latHist)) {
+	for name, h := range s.known {
+		fn(name, h)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, h := range s.extra {
+		fn(name, h)
+	}
 }
 
 // latBuckets is the histogram resolution: bucket i holds latencies in
@@ -123,7 +257,9 @@ const latBuckets = 48
 
 // latHist is a lock-free log2 histogram; quantiles are read as the
 // upper bound of the bucket where the target rank lands, which is
-// within 2× of the true value — plenty for a load report.
+// within 2× of the true value — plenty for a load report. /metricsz
+// re-exposes the same buckets as a cumulative Prometheus histogram
+// (obs.PromWriter.Log2Histogram), preserving the 2× bound.
 type latHist struct {
 	count   atomic.Uint64
 	sumNS   atomic.Uint64
@@ -139,6 +275,21 @@ func (h *latHist) observe(d time.Duration) {
 		i++
 	}
 	h.buckets[i].Add(1)
+}
+
+// snapshot loads the raw histogram: per-bucket counts plus the count
+// and nanosecond sum — what the /metricsz exposition renders. count is
+// the *bucket* sum, not the count atomic: the counters are read
+// individually (no global lock), so under concurrent observes the two
+// can be mid-update apart by the in-flight requests — deriving count
+// from the very buckets being exposed keeps the scrape internally
+// consistent (+Inf == _count, buckets monotone) at every instant.
+func (h *latHist) snapshot() (buckets [latBuckets]uint64, count, sumNS uint64) {
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+		count += buckets[i]
+	}
+	return buckets, count, h.sumNS.Load()
 }
 
 func (h *latHist) summary() LatencySummary {

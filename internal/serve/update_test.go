@@ -264,7 +264,7 @@ func TestUpdateMidFlightLeavesNoDeadCacheEntry(t *testing.T) {
 	if w := do(t, s, "PATCH", "/v1/networks/uni", updateFor(entry.Net, 0)); w.Code != http.StatusOK {
 		t.Fatalf("PATCH: %d %s", w.Code, w.Body.String())
 	}
-	body, err := s.batch.do(entry, cur.Ev, cur.Version, c, key)
+	body, err := s.batch.do(entry, cur.Ev, cur.Version, c, key, nil)
 	if err != nil || len(body) == 0 {
 		t.Fatalf("in-flight task after update: body=%q err=%v", body, err)
 	}
