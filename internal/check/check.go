@@ -6,10 +6,19 @@ package check
 
 import (
 	"fmt"
+	"sync"
 
 	"wmcs/internal/lp"
 	"wmcs/internal/sharing"
 )
+
+// lpWorkspaces pools solver scratch across CoreNonEmpty calls: the
+// evaluation suite solves one core LP per trial cell, and the tableau
+// (2^k rows × ~2^k+k columns for k agents) dominated each solve's
+// allocations. Reuse is invisible in the results — lp.SolveWith
+// overwrites every scratch cell it reads — and the pool keeps the
+// verifier safe for concurrent trials (one workspace per checkout).
+var lpWorkspaces = sync.Pool{New: func() any { return lp.NewWorkspace() }}
 
 // CoreNonEmpty decides whether the core of the game (agents, C) is
 // non-empty by LP feasibility:
@@ -34,18 +43,22 @@ func CoreNonEmpty(agents []int, C sharing.CostFunc) (bool, []float64) {
 	}
 	p.AddConstraint(ones, lp.EQ, grand)
 	subset := make([]int, 0, k)
+	row := make([]float64, k)
 	for mask := 1; mask < (1<<k)-1; mask++ {
 		subset = subset[:0]
-		row := make([]float64, k)
 		for b := 0; b < k; b++ {
 			if mask&(1<<b) != 0 {
 				subset = append(subset, agents[b])
 				row[b] = 1
+			} else {
+				row[b] = 0
 			}
 		}
 		p.AddConstraint(row, lp.LE, C(subset))
 	}
-	res := p.Solve()
+	ws := lpWorkspaces.Get().(*lp.Workspace)
+	res := p.SolveWith(ws)
+	lpWorkspaces.Put(ws)
 	if res.Status != lp.Optimal {
 		return false, nil
 	}

@@ -106,6 +106,8 @@ var All = []Experiment{
 	{ID: "E14", Name: "Lifecycle: cost-share stability under ε-perturbations", Run: E14ShareStability},
 	{ID: "E15", Name: "Lifecycle: delta-aware update latency (DESIGN.md §12)", Run: E15UpdateLatency},
 	{ID: "E15b", Name: "Lifecycle: full-rebuild update baseline (control for E15)", Run: E15bUpdateLatencyFull},
+	{ID: "E16", Name: "Parallel tier: exact Shapley, blocked flat-table (DESIGN.md §14)", Run: E16ParallelShapley},
+	{ID: "E16b", Name: "Parallel tier: exact Shapley, memo-map baseline (control for E16)", Run: E16bSerialShapley},
 	{ID: "A1", Name: "Ablation: universal tree choice SPT vs MST", Run: A01TreeChoice},
 	{ID: "A4", Name: "Ablation: efficiency loss, Shapley vs incremental [38]", Run: A04EfficiencyLoss},
 }

@@ -99,8 +99,51 @@ type Result struct {
 
 const eps = 1e-9
 
+// Workspace holds the scratch buffers one Solve call needs — the
+// normalized rows, the tableau, the basis, and the phase cost rows. A
+// caller solving many problems of similar shape (the core-membership
+// trials: one LP per cell, 2^k−1 rows each) passes one Workspace to
+// SolveWith and pays the tableau allocation once instead of per solve.
+// A Workspace is not safe for concurrent use; pool one per worker.
+//
+// The buffers are pure scratch: SolveWith overwrites every cell it
+// reads, so reuse cannot change a result — the pivot arithmetic is
+// identical to a fresh allocation's, byte for byte.
+type Workspace struct {
+	rowCoeffs []float64
+	tabData   []float64
+	tab       [][]float64
+	basis     []int
+	phase1    []float64
+	objRow    []float64
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow returns a length-n float64 slice backed by *buf, extending the
+// backing array when needed. The slice is zeroed.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // Solve runs the two-phase simplex and returns the result.
-func (p *Problem) Solve() Result {
+func (p *Problem) Solve() Result { return p.SolveWith(nil) }
+
+// SolveWith is Solve drawing its scratch space from ws; a nil ws
+// allocates fresh buffers (exactly Solve's historical behavior). The
+// returned Result never aliases the workspace.
+func (p *Problem) SolveWith(ws *Workspace) Result {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	m := len(p.cons)
 	// Count auxiliary columns: one slack per LE, one surplus per GE; one
 	// artificial per GE and EQ row plus per LE row with negative rhs
@@ -111,8 +154,11 @@ func (p *Problem) Solve() Result {
 		op     Op
 	}
 	rows := make([]rowInfo, m)
+	coeffBacking := grow(&ws.rowCoeffs, m*p.nvars)
 	for i, c := range p.cons {
-		r := rowInfo{coeffs: append([]float64(nil), c.coeffs...), rhs: c.rhs, op: c.op}
+		rc := coeffBacking[i*p.nvars : (i+1)*p.nvars : (i+1)*p.nvars]
+		copy(rc, c.coeffs)
+		r := rowInfo{coeffs: rc, rhs: c.rhs, op: c.op}
 		if r.rhs < 0 { // normalize to b ≥ 0
 			for j := range r.coeffs {
 				r.coeffs[j] = -r.coeffs[j]
@@ -142,12 +188,20 @@ func (p *Problem) Solve() Result {
 	}
 	total := p.nvars + nSlack + nArt
 	// Tableau: m rows × (total+1) cols; last col = rhs.
-	tab := make([][]float64, m)
-	basis := make([]int, m)
+	width := total + 1
+	tabData := grow(&ws.tabData, m*width)
+	if cap(ws.tab) < m {
+		ws.tab = make([][]float64, m)
+	}
+	tab := ws.tab[:m]
+	if cap(ws.basis) < m {
+		ws.basis = make([]int, m)
+	}
+	basis := ws.basis[:m]
 	slackAt := p.nvars
 	artAt := p.nvars + nSlack
 	for i, r := range rows {
-		row := make([]float64, total+1)
+		row := tabData[i*width : (i+1)*width : (i+1)*width]
 		copy(row, r.coeffs)
 		row[total] = r.rhs
 		switch r.op {
@@ -171,7 +225,7 @@ func (p *Problem) Solve() Result {
 
 	// Phase I: minimize sum of artificials.
 	if nArt > 0 {
-		phase1 := make([]float64, total)
+		phase1 := grow(&ws.phase1, total)
 		for j := p.nvars + nSlack; j < total; j++ {
 			phase1[j] = 1
 		}
@@ -214,7 +268,7 @@ func (p *Problem) Solve() Result {
 	// Phase II: minimize the real objective over x and auxiliary columns
 	// (zero cost on slacks, effectively +inf on artificials by forbidding
 	// them as entering columns).
-	objRow := make([]float64, total)
+	objRow := grow(&ws.objRow, total)
 	copy(objRow, p.obj)
 	st, _ := simplexForbidding(tab, basis, objRow, total, p.nvars+nSlack)
 	if st == Unbounded {

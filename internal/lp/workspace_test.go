@@ -1,0 +1,98 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a small random LP mixing all three relations and
+// negative right-hand sides (exercising the normalization path).
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 2 + rng.Intn(5)
+	m := 1 + rng.Intn(8)
+	p := NewProblem(n)
+	obj := make([]float64, n)
+	for j := range obj {
+		obj[j] = rng.Float64()*4 - 1
+	}
+	p.SetObjective(obj)
+	row := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := range row {
+			row[j] = rng.Float64()*6 - 2
+		}
+		p.AddConstraint(row, Op(rng.Intn(3)), rng.Float64()*10-3)
+	}
+	return p
+}
+
+// TestSolveWithMatchesSolve pins the workspace contract: a reused
+// Workspace — dirty from arbitrarily many prior solves of different
+// shapes — yields bitwise the same Result as a fresh allocation, status,
+// objective and every solution coordinate included.
+func TestSolveWithMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ws := NewWorkspace()
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng)
+		fresh := p.Solve()
+		reused := p.SolveWith(ws)
+		if fresh.Status != reused.Status {
+			t.Fatalf("trial %d: status %v != %v", trial, reused.Status, fresh.Status)
+		}
+		if fresh.Status != Optimal {
+			continue
+		}
+		if math.Float64bits(fresh.Obj) != math.Float64bits(reused.Obj) {
+			t.Fatalf("trial %d: obj %v != %v", trial, reused.Obj, fresh.Obj)
+		}
+		for j := range fresh.X {
+			if math.Float64bits(fresh.X[j]) != math.Float64bits(reused.X[j]) {
+				t.Fatalf("trial %d: x[%d] %v != %v", trial, j, reused.X[j], fresh.X[j])
+			}
+		}
+	}
+}
+
+// BenchmarkSolveFresh/BenchmarkSolveWorkspace document the pooling win
+// the E9 experiment banks on.
+func benchProblem() *Problem {
+	rng := rand.New(rand.NewSource(7))
+	n := 5
+	p := NewProblem(n)
+	ones := make([]float64, n)
+	for j := range ones {
+		ones[j] = 1
+	}
+	p.AddConstraint(ones, EQ, 10)
+	row := make([]float64, n)
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				row[b] = 1
+			} else {
+				row[b] = 0
+			}
+		}
+		p.AddConstraint(row, LE, 2+rng.Float64()*8)
+	}
+	return p
+}
+
+func BenchmarkSolveFresh(b *testing.B) {
+	p := benchProblem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Solve()
+	}
+}
+
+func BenchmarkSolveWorkspace(b *testing.B) {
+	p := benchProblem()
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.SolveWith(ws)
+	}
+}

@@ -305,6 +305,14 @@ func (s *State) nodeDistInto(src int, dist []float64, parent []int) {
 // observable bytes match an exhaustive run; entries past the stop are
 // garbage and must not be read. stopTerms ≤ 0 runs to exhaustion.
 func (s *State) nodeDistStop(src int, dist []float64, parent []int, stopTerms int) {
+	s.nodeDistStopWith(s.sc.heap, &s.sc.done, src, dist, parent, stopTerms)
+}
+
+// nodeDistStopWith is nodeDistStop running on caller-provided heap and
+// visited scratch instead of the state's own, so the parallel oracles
+// (parallel.go) can run many sweeps over one read-only State at once.
+// The arithmetic is byte-for-byte that of the historical method.
+func (s *State) nodeDistStopWith(h *graph.IndexHeap, doneBuf *[]bool, src int, dist []float64, parent []int, stopTerms int) {
 	n := s.g.N()
 	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
@@ -313,13 +321,12 @@ func (s *State) nodeDistStop(src int, dist []float64, parent []int, stopTerms in
 	if !s.alive[src] {
 		return
 	}
-	h := s.sc.heap
 	h.Grow(n)
 	h.Reset()
-	if cap(s.sc.done) < n {
-		s.sc.done = make([]bool, n)
+	if cap(*doneBuf) < n {
+		*doneBuf = make([]bool, n)
 	}
-	done := s.sc.done[:n]
+	done := (*doneBuf)[:n]
 	for i := 0; i < n; i++ {
 		done[i] = false
 	}

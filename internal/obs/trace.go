@@ -55,6 +55,12 @@ const (
 	StageCarryForward
 	// StagePurge covers a PATCH's retired-prefix cache purge.
 	StagePurge
+	// StageParallelEvaluate covers a dispatch round's concurrent group
+	// window when replica slots are enabled (serve.Options.ParallelEval):
+	// from the round's start to the moment this task's group finished
+	// evaluating on its slot — slot wait included, so the span widening
+	// past StageEvaluate is the cost of slot contention.
+	StageParallelEvaluate
 	// NumStages bounds Stage values (array sizing).
 	NumStages
 )
@@ -62,6 +68,7 @@ const (
 var stageNames = [NumStages]string{
 	"admission", "canonicalize", "cache_lookup", "coalesce", "queue_wait",
 	"evaluate", "compute", "encode", "rebuild", "carry_forward", "purge",
+	"parallel_evaluate",
 }
 
 // String returns the stage's stable wire name.

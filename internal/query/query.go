@@ -82,6 +82,11 @@ type Evaluator struct {
 	// paths (WithoutDeltaRebuild) — carried here because options apply
 	// per evaluator and VersionedEvaluator consults the current one.
 	noDelta bool
+	// pool and parallelWorkers carry the WithParallel configuration: a
+	// shared engine pool for the parallel evaluation tier (DESIGN.md
+	// §14) and its declared width. nil/0 = serial tier.
+	pool            *engine.Pool
+	parallelWorkers int
 
 	mu        sync.Mutex
 	ctx       *mechreg.BuildContext

@@ -31,11 +31,25 @@ var errInternal = errors.New("internal error")
 // generation-and-version prefix — unreachable by any future request, so
 // neither a re-registered name nor an updated network can ever serve a
 // predecessor's bytes.
+// When parallel > 1 the dispatcher additionally runs a round's *groups*
+// concurrently on up to that many replica slots (DESIGN.md §14): tasks
+// admitted against different network versions no longer serialize
+// behind one another's evaluations. Correctness does not depend on the
+// schedule — every group evaluates on its own concurrency-safe
+// evaluator, each task has a private buffered reply channel, and cache
+// Puts for a given key always carry the same bytes — so replica
+// dispatch changes wall clock only, never a response byte.
 type batcher struct {
 	cache   *Cache
 	stats   *Stats
 	workers int
 	maxWait int // max tasks drained into one dispatch round
+
+	// parallel is the replica-slot count (serve.Options.ParallelEval);
+	// slots is the semaphore bounding concurrent group dispatch. 0 or 1
+	// keeps the historical serial group loop.
+	parallel int
+	slots    chan struct{}
 
 	tasks    chan *admitTask
 	quit     chan struct{}
@@ -60,9 +74,9 @@ type admitTask struct {
 	// into its own *obs.Trace only after receiving from the reply channel,
 	// so the two goroutines never touch a trace concurrently (the channel
 	// edge is the happens-before). Fixed-size: the dispatcher records at
-	// most queue_wait, evaluate, compute and encode.
+	// most queue_wait, evaluate, compute, parallel_evaluate and encode.
 	enq    time.Time
-	spans  [4]spanRec
+	spans  [5]spanRec
 	nspans int
 }
 
@@ -96,18 +110,22 @@ type taskResult struct {
 	err  error
 }
 
-func newBatcher(cache *Cache, stats *Stats, workers, maxBatch int) *batcher {
+func newBatcher(cache *Cache, stats *Stats, workers, maxBatch, parallel int) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
 	b := &batcher{
-		cache:   cache,
-		stats:   stats,
-		workers: workers,
-		maxWait: maxBatch,
-		tasks:   make(chan *admitTask, maxBatch),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cache:    cache,
+		stats:    stats,
+		workers:  workers,
+		maxWait:  maxBatch,
+		parallel: parallel,
+		tasks:    make(chan *admitTask, maxBatch),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if parallel > 1 {
+		b.slots = make(chan struct{}, parallel)
 	}
 	go b.loop()
 	return b
@@ -205,17 +223,40 @@ func (b *batcher) run(batch []*admitTask) {
 		}
 		byEv[t.ev] = append(byEv[t.ev], t)
 	}
+	if b.slots != nil && len(order) > 1 {
+		// Replica dispatch: every group gets a slot (bounded by the
+		// configured width) and runs concurrently. Each group still owns
+		// its tasks exclusively and answers on per-task buffered
+		// channels, so no reply ordering is imposed across groups.
+		b.stats.ReplicaRounds.Add(1)
+		b.stats.ReplicaGroups.Add(uint64(len(order)))
+		roundStart := time.Now()
+		var wg sync.WaitGroup
+		for _, ev := range order {
+			ev, group := ev, byEv[ev]
+			b.slots <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer func() { <-b.slots; wg.Done() }()
+				b.runGroup(ev, group, roundStart)
+			}()
+		}
+		wg.Wait()
+		return
+	}
 	for _, ev := range order {
-		b.runGroup(ev, byEv[ev])
+		b.runGroup(ev, byEv[ev], time.Time{})
 	}
 }
 
 // runGroup evaluates one network version's share of a dispatch round.
-// It runs on the dispatcher goroutine, where net/http's per-handler
-// recover cannot reach — an uncaught panic here kills the whole daemon
-// — so any panic out of evaluation or encoding is converted into an
-// error reply for every task still waiting.
-func (b *batcher) runGroup(ev *query.Evaluator, group []*admitTask) {
+// It runs on the dispatcher goroutine (or a replica-slot goroutine when
+// parallel dispatch is enabled), where net/http's per-handler recover
+// cannot reach — an uncaught panic here kills the whole daemon — so any
+// panic out of evaluation or encoding is converted into an error reply
+// for every task still waiting. A non-zero roundStart marks replica
+// dispatch and anchors each task's parallel_evaluate span.
+func (b *batcher) runGroup(ev *query.Evaluator, group []*admitTask, roundStart time.Time) {
 	entry := group[0].entry // one evaluator never spans entries
 	replied := 0
 	defer func() {
@@ -245,6 +286,11 @@ func (b *batcher) runGroup(ev *query.Evaluator, group []*admitTask) {
 		// engine does not report per-request scheduling offsets).
 		t.span(obs.StageEvaluate, groupStart, evalDur)
 		t.span(obs.StageCompute, groupStart, durs[i])
+		if !roundStart.IsZero() {
+			// Replica dispatch: the concurrent window this group occupied,
+			// slot wait included (its excess over evaluate is contention).
+			t.span(obs.StageParallelEvaluate, roundStart, time.Since(roundStart))
+		}
 	}
 	for i, t := range group {
 		var res taskResult

@@ -28,6 +28,11 @@ type Registry struct {
 	mu    sync.RWMutex
 	nets  map[string]*NetworkEntry
 	order []string // registration order, for stable listings
+	// parallel is the intra-query parallel width every *future*
+	// registration builds its evaluators with (query.WithParallel);
+	// 0 keeps the historical serial tier. Set it before registering —
+	// SetParallel does not retrofit existing entries.
+	parallel int
 }
 
 // NetworkEntry is one hosted network. Spec is the manifest spec it was
@@ -85,6 +90,31 @@ func NewRegistry() *Registry {
 	return &Registry{nets: make(map[string]*NetworkEntry)}
 }
 
+// SetParallel makes every future registration build its versioned
+// evaluators on the parallel evaluation tier at the given width
+// (DESIGN.md §14); workers <= 0 selects the serial tier. The width
+// carries across PATCH swaps automatically (VersionedEvaluator re-applies
+// its construction options on every rebuild). Call before registering
+// networks — entries already hosted keep the tier they were built with.
+func (r *Registry) SetParallel(workers int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if workers < 0 {
+		workers = 0
+	}
+	r.parallel = workers
+}
+
+// evalOpts resolves the evaluator construction options a new entry uses.
+func (r *Registry) evalOpts() []query.Option {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.parallel >= 1 {
+		return []query.Option{query.WithParallel(query.ParallelSpec{Workers: r.parallel})}
+	}
+	return nil
+}
+
 // DefaultSpecs is the demo manifest wmcsd and wmcsload fall back to
 // when no -manifest is given: a small scenario-diverse set, cheap
 // enough that cold wireless-bb queries stay in the tens of
@@ -107,7 +137,7 @@ func (r *Registry) Register(name string, nw *wireless.Network) error {
 	if err := validateName(name); err != nil {
 		return err
 	}
-	return r.add(&NetworkEntry{Name: name, Net: nw, Ev: query.NewVersioned(nw)})
+	return r.add(&NetworkEntry{Name: name, Net: nw, Ev: query.NewVersioned(nw, r.evalOpts()...)})
 }
 
 // RegisterSpec builds a scenario-registry spec and hosts the result
@@ -120,7 +150,7 @@ func (r *Registry) RegisterSpec(sp instances.Spec) error {
 	if err != nil {
 		return err
 	}
-	return r.add(&NetworkEntry{Name: sp.Name, Spec: sp, Net: nw, Ev: query.NewVersioned(nw)})
+	return r.add(&NetworkEntry{Name: sp.Name, Spec: sp, Net: nw, Ev: query.NewVersioned(nw, r.evalOpts()...)})
 }
 
 // CheckMech reports whether the entry's network admits the named

@@ -34,6 +34,15 @@ type Options struct {
 	// MaxBatch caps how many queued queries one dispatcher round may
 	// carry (default 64).
 	MaxBatch int
+	// ParallelEval enables the deterministic intra-query parallel tier
+	// (DESIGN.md §14) at the given width: networks registered after
+	// construction get evaluators built with query.WithParallel, and the
+	// admission dispatcher runs a round's per-version groups concurrently
+	// on up to ParallelEval replica slots. 0 (the default) keeps the
+	// historical serial tier; auto-width ("0 means GOMAXPROCS") is the
+	// flag layer's job — wmcsd resolves -parallel-eval 0 and passes the
+	// resolved width here.
+	ParallelEval int
 	// MaxBatchRequest caps the element count of one /v1/batch request
 	// (default 1024).
 	MaxBatchRequest int
@@ -109,7 +118,14 @@ func NewServer(reg *Registry, opts Options) *Server {
 		slow:   opts.SlowRequest,
 		boot:   time.Now(),
 	}
-	s.batch = newBatcher(s.cache, s.stats, opts.Workers, opts.MaxBatch)
+	if opts.ParallelEval > 0 {
+		// Future registrations (POST /v1/networks) inherit the parallel
+		// tier; networks hosted before construction keep the tier their
+		// caller chose (wmcsd configures the registry before loading its
+		// manifest, so at the daemon every network is parallel).
+		reg.SetParallel(opts.ParallelEval)
+	}
+	s.batch = newBatcher(s.cache, s.stats, opts.Workers, opts.MaxBatch, opts.ParallelEval)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -207,6 +223,13 @@ type statszPayload struct {
 	InFlight       int64  `json:"in_flight"`
 	Batches        uint64 `json:"batches"`
 	BatchedQueries uint64 `json:"batched_queries"`
+	// ParallelEval is the configured intra-query parallel width (0 =
+	// serial tier); ReplicaRounds/ReplicaGroups count the dispatch
+	// rounds whose groups ran concurrently on replica slots and the
+	// groups those rounds carried.
+	ParallelEval  int    `json:"parallel_eval"`
+	ReplicaRounds uint64 `json:"replica_rounds"`
+	ReplicaGroups uint64 `json:"replica_groups"`
 	// Updates counts applied network deltas, UpdateOps the mutation ops
 	// they carried; RebuildUS summarizes the evaluator rebuild+warm
 	// latency those swaps paid. Generations maps every hosted network
@@ -255,6 +278,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		InFlight:             s.stats.InFlight.Load(),
 		Batches:              s.stats.Batches.Load(),
 		BatchedQueries:       s.stats.BatchedQueries.Load(),
+		ParallelEval:         s.opts.ParallelEval,
+		ReplicaRounds:        s.stats.ReplicaRounds.Load(),
+		ReplicaGroups:        s.stats.ReplicaGroups.Load(),
 		Updates:              s.stats.Updates.Load(),
 		UpdateOps:            s.stats.UpdateOps.Load(),
 		RebuildUS:            s.stats.RebuildLatency(),
@@ -332,6 +358,10 @@ type mechInfo struct {
 	// Approx advertises a sampled Shapley tier: requests may carry an
 	// "approx" object and receive an (ε, δ) certificate.
 	Approx bool `json:"approx"`
+	// Parallel advertises the deterministic parallel evaluation tier
+	// (DESIGN.md §14): on a daemon booted with -parallel-eval this
+	// mechanism's heavy paths run on the engine pool, width-invariantly.
+	Parallel bool `json:"parallel"`
 
 	BudgetBalance     string `json:"budget_balance"` // "none" | "solution" | "optimum"
 	Beta              string `json:"beta,omitempty"` // declared factor, human form
@@ -357,6 +387,7 @@ func (s *Server) handleListMechanisms(w http.ResponseWriter, r *http.Request) {
 			PaperRef:          d.PaperRef,
 			Desc:              d.Desc,
 			Approx:            d.Approx,
+			Parallel:          d.Parallel,
 			BudgetBalance:     g.BB.String(),
 			Beta:              g.BetaLabel,
 			Strategyproofness: g.Strategyproofness.String(),

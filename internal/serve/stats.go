@@ -35,6 +35,11 @@ type Stats struct {
 	// carried (BatchedQueries/Batches is the realized batching factor).
 	Batches        atomic.Uint64
 	BatchedQueries atomic.Uint64
+	// ReplicaRounds counts dispatch rounds whose groups ran concurrently
+	// on replica slots (Options.ParallelEval > 1 and more than one group
+	// in the round); ReplicaGroups the groups those rounds carried.
+	ReplicaRounds atomic.Uint64
+	ReplicaGroups atomic.Uint64
 	// Updates counts applied PATCH deltas (version bumps; rejected,
 	// empty, and all-no-op deltas do not count), UpdateOps the mutation
 	// ops they carried. rebuild histograms the evaluator swap latency

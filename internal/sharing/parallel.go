@@ -1,0 +1,335 @@
+package sharing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"wmcs/internal/engine"
+)
+
+// This file is the parallel tier of the sharing package (DESIGN.md §14):
+// the exact 2^k enumeration and the sampled permutation walk, restated as
+// order-stable reductions over a *fixed* partition of the work. The
+// partition never depends on the worker count — width only decides how
+// many partition cells run concurrently — so the bytes produced at width
+// 1 and width N are identical by construction. The price of that
+// property is that the parallel tier is a *different* reduction shape
+// from the historical serial one (per-block partial sums folded in block
+// order, per-stream permutation generators instead of one stream), so
+// its low bits are not those of Shapley.Shares/SampledShapley.SharesCert
+// — callers opt in, and once in, stay deterministic at any width.
+
+// shapleyBlockBits bounds the number of enumeration blocks the exact
+// parallel method partitions 2^k subsets into: 2^min(k,shapleyBlockBits)
+// contiguous blocks. 64 blocks keeps the fixed merge cheap while leaving
+// enough cells to feed any realistic pool width; the count is a function
+// of k alone, never of the pool, which is what makes the reduction
+// width-stable.
+const shapleyBlockBits = 6
+
+// sampledStreams is the fixed number of permutation streams the sampled
+// parallel method shards its samples into. Like the block count it is a
+// constant, not the worker count: stream j always draws the same
+// permutations from its own FNV(seed‖j‖R) generator, so the estimate is
+// identical whether the streams run on one core or sixteen.
+const sampledStreams = 8
+
+// shapleyBlocks returns the fixed (blockCount, blockSize) partition of
+// the 2^k local-mask space. blockSize·blockCount == 2^k exactly (both
+// are powers of two).
+func shapleyBlocks(k int) (count, size uint64) {
+	bb := shapleyBlockBits
+	if k < bb {
+		bb = k
+	}
+	count = 1 << uint(bb)
+	size = (uint64(1) << uint(k)) / count
+	return count, size
+}
+
+// SharesParallel computes exact Shapley shares of R with the subset
+// enumeration partitioned into the fixed blocks of shapleyBlocks and
+// evaluated by the pool's workers. Phase 1 fills a flat cost table
+// (one entry per local subset mask, each computed exactly once); phase 2
+// accumulates one partial share vector per block and folds them in block
+// order. A nil or width-1 pool runs the identical blocked reduction
+// serially, so the result is byte-identical at every width.
+//
+// The cost oracle must be safe for concurrent calls when the pool is
+// wider than 1 (the oracles in this repo are pure functions). Like
+// Shares, the method panics for |R| > 20.
+func (s *Shapley) SharesParallel(R []int, pool *engine.Pool) map[int]float64 {
+	k := len(R)
+	if k == 0 {
+		return map[int]float64{}
+	}
+	if k > 20 {
+		panic(fmt.Sprintf("sharing: Shapley.SharesParallel limited to 20 agents, got %d", k))
+	}
+	local := make([]uint64, k) // local[i] = universe mask bit of R[i]
+	for i, a := range R {
+		b, ok := s.bit[a]
+		if !ok {
+			panic(fmt.Sprintf("sharing: agent %d not in universe", a))
+		}
+		local[i] = 1 << b
+	}
+	nBlocks, blockSize := shapleyBlocks(k)
+
+	// Phase 1: the subset-cost table, tab[lm] = C(Q(lm)) for every local
+	// mask lm. Each entry is written by exactly one block task, and its
+	// value depends only on the (deterministic) oracle — never on
+	// scheduling. Warm entries come from the cross-call memo, which is
+	// read-only for the duration of the parallel section.
+	tab := make([]float64, uint64(1)<<uint(k))
+	cold := len(s.cache) == 0 // no memo to consult — skip the per-mask probes
+	engine.Map(pool, int(nBlocks), func(b int) struct{} {
+		members := make([]int, 0, k)
+		lo, hi := uint64(b)*blockSize, (uint64(b)+1)*blockSize
+		for lm := lo; lm < hi; lm++ {
+			if lm == 0 {
+				continue // C(∅) = 0, tab already zero
+			}
+			var gm uint64
+			for t := lm; t != 0; t &= t - 1 { // walk set bits only
+				gm |= local[bits.TrailingZeros64(t)]
+			}
+			if !cold {
+				if c, ok := s.cache[gm]; ok {
+					tab[lm] = c
+					continue
+				}
+			}
+			members = members[:0]
+			for t := gm; t != 0; t &= t - 1 {
+				members = append(members, s.agents[bits.TrailingZeros64(t)])
+			}
+			tab[lm] = s.cost(members)
+		}
+		return struct{}{}
+	})
+	// Publish the misses back into the cross-call memo so later rounds
+	// (Moulin–Shenker shrinks R between calls) reuse them. Serial, in
+	// ascending mask order: deterministic content either way (the oracle
+	// is a function), but keeping one writer keeps the map honest. On a
+	// cold memo the map is pre-sized (lm↔gm is a bijection, so every
+	// entry is fresh) and inserted without probes; rehash-free growth is
+	// a measurable share of the whole call at k = 18.
+	if cold {
+		s.cache = make(map[uint64]float64, uint64(1)<<uint(k))
+	}
+	for lm := uint64(1); lm < uint64(1)<<uint(k); lm++ {
+		var gm uint64
+		for t := lm; t != 0; t &= t - 1 {
+			gm |= local[bits.TrailingZeros64(t)]
+		}
+		if cold {
+			s.cache[gm] = tab[lm]
+		} else if _, ok := s.cache[gm]; !ok {
+			s.cache[gm] = tab[lm]
+		}
+	}
+
+	// Phase 2: per-block partial share vectors over the flat table.
+	kf := s.fact[k]
+	fullLM := (uint64(1) << uint(k)) - 1
+	parts := engine.Map(pool, int(nBlocks), func(b int) []float64 {
+		part := make([]float64, k)
+		lo, hi := uint64(b)*blockSize, (uint64(b)+1)*blockSize
+		for lm := lo; lm < hi; lm++ {
+			qSize := bits.OnesCount64(lm)
+			if qSize == k {
+				continue
+			}
+			w := s.fact[qSize] * s.fact[k-qSize-1] / kf
+			cq := tab[lm]
+			for t := fullLM &^ lm; t != 0; t &= t - 1 { // i ∉ Q, ascending
+				i := bits.TrailingZeros64(t)
+				part[i] += w * (tab[lm|1<<uint(i)] - cq)
+			}
+		}
+		return part
+	})
+	// Fixed-order merge: fold the partials in block order, then bind to
+	// agent ids. The fold order is part of the determinism contract.
+	sums := make([]float64, k)
+	for _, part := range parts {
+		for i := 0; i < k; i++ {
+			sums[i] += part[i]
+		}
+	}
+	shares := make(map[int]float64, k)
+	for i, a := range R {
+		shares[a] = sums[i]
+	}
+	return shares
+}
+
+// streamSeed derives stream j's generator seed: FNV-1a over the instance
+// seed, the stream index, and the canonical receiver set. The leading
+// 0xFF tag byte keeps the stream seeds disjoint from permSeed's domain
+// (which starts with the raw little-endian seed).
+func (s *SampledShapley) streamSeed(j int, sorted []int) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	h.Write([]byte{0xFF})
+	binary.LittleEndian.PutUint64(b[:], uint64(s.seed))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(j))
+	h.Write(b[:])
+	for _, a := range sorted {
+		binary.LittleEndian.PutUint64(b[:], uint64(a))
+		h.Write(b[:])
+	}
+	return int64(h.Sum64())
+}
+
+// streamSamples returns how many of the m samples stream j draws: the
+// fixed balanced split m = Σ_j (m/S + [j < m mod S]).
+func streamSamples(m, j int) int {
+	n := m / sampledStreams
+	if j < m%sampledStreams {
+		n++
+	}
+	return n
+}
+
+// sampledStream is one stream's contribution to the parallel estimate.
+type sampledStream struct {
+	sums    []float64
+	fresh   map[string]float64 // subset costs not in the shared memo
+	queries int
+	hits    int
+}
+
+// SharesCertParallel estimates the Shapley shares of R with the sample
+// budget sharded across sampledStreams fixed permutation streams, each
+// seeded by streamSeed(j, R), evaluated by the pool's workers and folded
+// in stream order. The certificate is computed from (samples, delta,
+// Δmax) exactly as SharesCert computes it, so it is identical at every
+// width — and identical to the serial tier's certificate for the same
+// inputs. The shares themselves come from a different (equally valid,
+// equally deterministic) sample of permutations than SharesCert's single
+// stream, so the two tiers' low bits differ; within the parallel tier,
+// width never changes a byte.
+//
+// The cost oracle must be safe for concurrent calls when the pool is
+// wider than 1. During the parallel section the shared memo is frozen
+// (streams read it and record fresh costs privately); the fresh costs
+// are folded back afterwards in stream order.
+func (s *SampledShapley) SharesCertParallel(R []int, pool *engine.Pool) (map[int]float64, ApproxCert) {
+	k := len(R)
+	if k == 0 {
+		return map[int]float64{}, ApproxCert{Samples: s.samples, Delta: s.delta}
+	}
+	members := append([]int(nil), R...)
+	sort.Ints(members)
+
+	// Δmax from the singleton costs, serially — same pass as SharesCert,
+	// so the certificate matches the serial tier bit for bit. This also
+	// warms the memo before it freezes for the streams.
+	var dmax float64
+	single := make([]int, 1)
+	for _, a := range members {
+		single[0] = a
+		if c := s.costOfSorted(single); c > dmax {
+			dmax = c
+		}
+	}
+
+	idx := make(map[int]int, k)
+	for i, a := range members {
+		idx[a] = i
+	}
+	streams := engine.Map(pool, sampledStreams, func(j int) *sampledStream {
+		st := &sampledStream{sums: make([]float64, k), fresh: map[string]float64{}}
+		n := streamSamples(s.samples, j)
+		if n == 0 {
+			return st
+		}
+		rng := rand.New(rand.NewSource(s.streamSeed(j, members)))
+		perm := make([]int, k)
+		prefix := make([]int, 0, k)
+		for t := 0; t < n; t++ {
+			copy(perm, members)
+			rng.Shuffle(k, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			prefix = prefix[:0]
+			prev := 0.0
+			for _, a := range perm {
+				at := sort.SearchInts(prefix, a)
+				prefix = append(prefix, 0)
+				copy(prefix[at+1:], prefix[at:])
+				prefix[at] = a
+				c := st.costOf(s, prefix)
+				st.sums[idx[a]] += c - prev
+				prev = c
+			}
+		}
+		return st
+	})
+	// Fold the streams in stream order: sums, counters, then the fresh
+	// memo entries. Duplicate fresh keys across streams carry the same
+	// value (the oracle is a function), so the merged memo content is
+	// deterministic too.
+	sums := make([]float64, k)
+	for _, st := range streams {
+		for i := 0; i < k; i++ {
+			sums[i] += st.sums[i]
+		}
+		s.Queries += st.queries
+		s.Hits += st.hits
+		for key, c := range st.fresh {
+			s.cache[key] = c
+		}
+	}
+	shares := make(map[int]float64, k)
+	for i, a := range members {
+		shares[a] = sums[i] / float64(s.samples)
+	}
+	eps := dmax * math.Sqrt(math.Log(2*float64(k)/s.delta)/(2*float64(s.samples)))
+	return shares, ApproxCert{Samples: s.samples, Epsilon: eps, Delta: s.delta, DeltaMax: dmax}
+}
+
+// costOf is costOfSorted against the frozen shared memo with the
+// stream's private overlay for fresh subsets.
+func (st *sampledStream) costOf(s *SampledShapley, sorted []int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	key := subsetKey(sorted)
+	if c, ok := s.cache[key]; ok {
+		st.hits++
+		return c
+	}
+	if c, ok := st.fresh[key]; ok {
+		st.hits++
+		return c
+	}
+	st.queries++
+	c := s.cost(sorted)
+	st.fresh[key] = c
+	return c
+}
+
+// ParallelMethod adapts a *Shapley or *SampledShapley to the Method
+// interface through its parallel tier, so Moulin–Shenker rounds and the
+// mechanism wrappers evaluate every round at the pool's width.
+type ParallelMethod struct {
+	Exact   *Shapley        // exactly one of Exact/Sampled is set
+	Sampled *SampledShapley //
+	Pool    *engine.Pool
+}
+
+// Shares implements Method.
+func (p *ParallelMethod) Shares(R []int) map[int]float64 {
+	if p.Exact != nil {
+		return p.Exact.SharesParallel(R, p.Pool)
+	}
+	shares, _ := p.Sampled.SharesCertParallel(R, p.Pool)
+	return shares
+}

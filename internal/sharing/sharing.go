@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"wmcs/internal/engine"
 	"wmcs/internal/mech"
 )
 
@@ -311,6 +312,24 @@ type MechanismFromMethod struct {
 	AgentSet []int
 	Xi       Method
 	Cost     CostFunc
+	// Pool, when non-nil, routes every evaluation through the parallel
+	// tier (DESIGN.md §14): exact Shapley methods run the blocked
+	// SharesParallel reduction and the approximate tier runs the
+	// stream-sharded SharesCertParallel. nil keeps the historical serial
+	// paths byte-for-byte.
+	Pool *engine.Pool
+}
+
+// xi returns the method the Moulin–Shenker rounds evaluate: Xi itself,
+// or its parallel adapter when a pool is configured and Xi is the exact
+// Shapley method (closed-form methods have nothing to parallelize).
+func (m *MechanismFromMethod) xi() Method {
+	if m.Pool != nil {
+		if sh, ok := m.Xi.(*Shapley); ok {
+			return &ParallelMethod{Exact: sh, Pool: m.Pool}
+		}
+	}
+	return m.Xi
 }
 
 // Name implements mech.Mechanism.
@@ -321,7 +340,7 @@ func (m *MechanismFromMethod) Agents() []int { return m.AgentSet }
 
 // Run implements mech.Mechanism.
 func (m *MechanismFromMethod) Run(u mech.Profile) mech.Outcome {
-	res := MoulinShenker(m.AgentSet, m.Xi, u)
+	res := MoulinShenker(m.AgentSet, m.xi(), u)
 	return mech.Outcome{
 		Receivers: res.Receivers,
 		Shares:    res.Shares,
@@ -344,11 +363,21 @@ func (m *MechanismFromMethod) RunApprox(u mech.Profile, spec mech.ApproxSpec) (m
 	if err != nil {
 		return mech.Outcome{}, mech.ApproxCert{}, err
 	}
-	res := MoulinShenker(m.AgentSet, s, u)
-	// The final round's certificate: SharesCert on the surviving set
-	// replays the identical permutation stream against a warm memo, so
-	// this costs no fresh oracle calls.
-	_, cert := s.SharesCert(res.Receivers)
+	var res MoulinShenkerResult
+	var cert ApproxCert
+	if m.Pool != nil {
+		// Parallel tier: every round — and the final certificate — runs
+		// the stream-sharded estimator, which is deterministic at any
+		// pool width (DESIGN.md §14).
+		res = MoulinShenker(m.AgentSet, &ParallelMethod{Sampled: s, Pool: m.Pool}, u)
+		_, cert = s.SharesCertParallel(res.Receivers, m.Pool)
+	} else {
+		res = MoulinShenker(m.AgentSet, s, u)
+		// The final round's certificate: SharesCert on the surviving set
+		// replays the identical permutation stream against a warm memo, so
+		// this costs no fresh oracle calls.
+		_, cert = s.SharesCert(res.Receivers)
+	}
 	return mech.Outcome{
 		Receivers: res.Receivers,
 		Shares:    res.Shares,
