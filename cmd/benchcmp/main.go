@@ -27,11 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
 	"wmcs/internal/cliutil"
+	"wmcs/internal/detorder"
 )
 
 // expTiming and timingDoc mirror cmd/benchtab's timings schema.
@@ -144,12 +144,11 @@ func compare(oldDoc, newDoc timingDoc, maxRegressPct, minMS float64, asserts []a
 		report = append(report, line)
 	}
 	var added []string
-	for id := range newBy {
+	for _, id := range detorder.Keys(newBy) {
 		if !oldIDs[id] {
 			added = append(added, id)
 		}
 	}
-	sort.Strings(added)
 	for _, id := range added {
 		report = append(report, fmt.Sprintf("%-5s %10s -> %10.1f ms  (new experiment, not gated)", id, "-", newBy[id].WallMS))
 	}

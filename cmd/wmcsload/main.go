@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"wmcs/internal/cliutil"
+	"wmcs/internal/detorder"
 	"wmcs/internal/engine"
 	"wmcs/internal/instances"
 	"wmcs/internal/mechreg"
@@ -613,12 +614,7 @@ func report(run loadResult, before, after statszDoc, jsonOut bool, meta reportMe
 		fmt.Sprintf("wmcsload: %s workload, %d queries, %d workers (seed %d)",
 			meta.workload, meta.queries, meta.parallel, meta.seed),
 		"mechanism", "queries", "hit", "miss", "coalesced", "p50 ms", "p90 ms", "p99 ms")
-	names := make([]string, 0, len(run.perMech))
-	for n := range run.perMech {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range detorder.Keys(run.perMech) {
 		ms := run.perMech[n]
 		sort.Float64s(ms.latMS)
 		q := func(p float64) string {

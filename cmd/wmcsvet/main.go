@@ -1,0 +1,20 @@
+// Command wmcsvet is the repo's static-analysis suite (DESIGN.md §15)
+// packaged as a `go vet -vettool` binary:
+//
+//	go build -o bin/wmcsvet ./cmd/wmcsvet
+//	go vet -vettool=$(pwd)/bin/wmcsvet ./...
+//
+// It registers exactly the analyzers of internal/lint.All — detorder,
+// noclock, poolput, cachekey — which statically enforce the
+// determinism, pooling, and cache-key contracts the differential test
+// sweeps otherwise only probe dynamically.
+package main
+
+import (
+	"wmcs/internal/lint"
+	"wmcs/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.All())
+}

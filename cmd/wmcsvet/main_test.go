@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wmcs/internal/lint"
+)
+
+// TestRegisteredAnalyzers is the meta-test pinning the suite: wmcsvet
+// registers exactly the documented analyzer set, each with a doc
+// string, a run function, and the documented directive name.
+func TestRegisteredAnalyzers(t *testing.T) {
+	all := lint.All()
+	wantNames := []string{"cachekey", "detorder", "noclock", "poolput"}
+	if len(all) != len(wantNames) {
+		t.Fatalf("lint.All() registers %d analyzers, want %d", len(all), len(wantNames))
+	}
+	wantDirectives := map[string]string{
+		"cachekey": "cachekey",
+		"detorder": "detorder",
+		"noclock":  "wallclock",
+		"poolput":  "poolput",
+	}
+	for i, a := range all {
+		if a.Name != wantNames[i] {
+			t.Errorf("analyzer %d is %q, want %q (the set is sorted and fixed)", i, a.Name, wantNames[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+		dir := a.Directive
+		if dir == "" {
+			dir = a.Name
+		}
+		if want := wantDirectives[a.Name]; dir != want {
+			t.Errorf("analyzer %s directive = %q, want %q", a.Name, dir, want)
+		}
+	}
+}
+
+// TestDesignDocumentsSuite keeps DESIGN.md §15 honest: every
+// registered analyzer (and the vettool itself) must appear there, so
+// the suite cannot grow or shrink without the contract doc following.
+func TestDesignDocumentsSuite(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join(repoRoot(t), "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(b)
+	for _, name := range append([]string{"wmcsvet"}, analyzerNames()...) {
+		if !strings.Contains(doc, name) {
+			t.Errorf("DESIGN.md does not mention %q", name)
+		}
+	}
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// TestVetProtocolEndToEnd exercises the real `go vet -vettool`
+// handshake: build the tool, point go vet at a throwaway module with a
+// detorder violation (must fail, naming the analyzer), then at a clean
+// one (must pass). This is the only test that covers the unitchecker
+// protocol plumbing in internal/lint/driver — -V=full, -flags, the
+// .cfg file, export-data import, and the exit code.
+func TestVetProtocolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and shells out to go vet")
+	}
+	root := repoRoot(t)
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "wmcsvet")
+
+	build := exec.Command("go", "build", "-o", tool, "wmcs/cmd/wmcsvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building wmcsvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	if err := os.MkdirAll(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module tmpmod\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "sum.go"), `package tmpmod
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	vet := func() (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet passed on a detorder violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "float accumulation") || !strings.Contains(out, "detorder") {
+		t.Fatalf("go vet failed but not with the detorder diagnostic:\n%s", out)
+	}
+
+	writeFile(t, filepath.Join(mod, "sum.go"), `package tmpmod
+
+func Sum(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repoRoot walks up from the test's working directory (this package's
+// source dir) to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

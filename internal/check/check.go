@@ -56,9 +56,12 @@ func CoreNonEmpty(agents []int, C sharing.CostFunc) (bool, []float64) {
 		}
 		p.AddConstraint(row, lp.LE, C(subset))
 	}
+	// Deferred so a panicking solve cannot leak the workspace; the
+	// Result never aliases it (lp.SolveWith's contract), so returning
+	// it to the pool at any point after the solve is safe.
 	ws := lpWorkspaces.Get().(*lp.Workspace)
+	defer lpWorkspaces.Put(ws)
 	res := p.SolveWith(ws)
-	lpWorkspaces.Put(ws)
 	if res.Status != lp.Optimal {
 		return false, nil
 	}

@@ -1,0 +1,45 @@
+// Package detorder pins a deterministic iteration order over Go maps.
+//
+// Go randomizes map iteration order per range statement, so any loop
+// whose visible effect depends on visit order — accumulating floats
+// (addition does not commute exactly), appending to a slice that
+// reaches an encoder, picking "the first" match — is a determinism
+// hazard. The repo's contract (DESIGN.md §15) is that such loops go
+// through this package: Keys and Sorted are the one allowlisted way to
+// walk a map when order can matter, and the detorder analyzer
+// (internal/lint) flags direct map ranges that accumulate floats or
+// leak append order.
+//
+// The helpers are deliberately tiny: the point is not cleverness but a
+// single, greppable, analyzer-blessed spelling of "iterate this map in
+// ascending key order".
+package detorder
+
+import (
+	"cmp"
+	"iter"
+	"slices"
+)
+
+// Keys returns m's keys in ascending order. The slice is freshly
+// allocated; callers may keep or mutate it.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Sorted yields m's entries in ascending key order. Mutating m during
+// iteration is the caller's own hazard, exactly as with a plain range.
+func Sorted[M ~map[K]V, K cmp.Ordered, V any](m M) iter.Seq2[K, V] {
+	return func(yield func(K, V) bool) {
+		for _, k := range Keys(m) {
+			if !yield(k, m[k]) {
+				return
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"wmcs/internal/detorder"
 	"wmcs/internal/instances"
 	"wmcs/internal/mech"
 	"wmcs/internal/mechreg"
@@ -183,9 +184,13 @@ func perturb(rng *rand.Rand, nw *wireless.Network, eps float64) error {
 // shareDrift is the L1 distance between two share vectors, normalized
 // by the base outcome's total charge (0/0 reads as perfectly stable).
 func shareDrift(before, after mech.Outcome) float64 {
+	// Both sums iterate in ascending agent order (detorder contract):
+	// float addition does not commute exactly, so summing in map order
+	// would make the drift's low bits a function of Go's per-range
+	// iteration seed.
 	total := 0.0
-	for _, x := range before.Shares {
-		total += math.Abs(x)
+	for _, a := range detorder.Keys(before.Shares) {
+		total += math.Abs(before.Shares[a])
 	}
 	agents := map[int]bool{}
 	for a := range before.Shares {
@@ -195,7 +200,7 @@ func shareDrift(before, after mech.Outcome) float64 {
 		agents[a] = true
 	}
 	diff := 0.0
-	for a := range agents {
+	for _, a := range detorder.Keys(agents) {
 		diff += math.Abs(before.Shares[a] - after.Shares[a])
 	}
 	if diff == 0 {

@@ -114,6 +114,7 @@ func Moats(nw *wireless.Network, R []int, w Weights) MoatResult {
 		// Map iteration order is safe here: each group touches a disjoint
 		// agent set exactly once and contributes the same `best` to dual,
 		// so no float result depends on the order.
+		//lint:detorder disjoint agent sets per group; dual gains the identical addend each visit, so no float depends on order
 		for _, members := range groups {
 			var wsum float64
 			for _, i := range members {

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cachekey is the structural guard on the serve cache-key contract
+// (DESIGN.md §8): every exported field of the canonicalized request
+// struct must be consumed by the cache-key writer. Adding a request
+// field that changes evaluation without extending the key — the PR 6
+// approx-tier hazard — would make two semantically different requests
+// share a cache entry; with this analyzer the omission fails `go vet`.
+//
+// The analyzer activates in any package that declares both a struct
+// type named CanonRequest and a function buildKey (in the tree that is
+// exactly wmcs/internal/serve; the fixture suite declares doubles). A
+// field is "consumed" when buildKey — or a package-level function it
+// (transitively) calls — selects it off a CanonRequest value. Fields
+// that enter the key by another route carry //lint:cachekey with the
+// justification naming that route.
+var Cachekey = &Analyzer{
+	Name: "cachekey",
+	Doc: "every exported field of serve's CanonRequest must be consumed " +
+		"by buildKey or annotated with the route it takes into the key",
+	Run: runCachekey,
+}
+
+const (
+	canonStructName = "CanonRequest"
+	keyWriterName   = "buildKey"
+)
+
+func runCachekey(pass *Pass) {
+	var structDecl *ast.StructType
+	var structPos map[string]ast.Node // field name -> field AST node
+	var canonType types.Object
+	funcs := make(map[string]*ast.FuncDecl)
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					funcs[d.Name.Name] = d
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != canonStructName {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					structDecl = st
+					canonType = pass.Info.Defs[ts.Name]
+					structPos = make(map[string]ast.Node)
+					for _, fld := range st.Fields.List {
+						for _, name := range fld.Names {
+							structPos[name.Name] = fld
+						}
+					}
+				}
+			}
+		}
+	}
+	writer := funcs[keyWriterName]
+	if structDecl == nil || writer == nil || canonType == nil {
+		return
+	}
+
+	// Collect the fields selected off CanonRequest values in the key
+	// writer and in every package-level function reachable from it.
+	used := make(map[string]bool)
+	visited := make(map[string]bool)
+	var visit func(fn *ast.FuncDecl)
+	visit = func(fn *ast.FuncDecl) {
+		if visited[fn.Name.Name] || fn.Body == nil {
+			return
+		}
+		visited[fn.Name.Name] = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel := pass.Info.Selections[n]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				recv := sel.Recv()
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if named, ok := recv.(*types.Named); ok && named.Obj() == canonType {
+					used[n.Sel.Name] = true
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if callee, ok := funcs[id.Name]; ok {
+						visit(callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(writer)
+
+	for _, fld := range structDecl.Fields.List {
+		for _, name := range fld.Names {
+			if !name.IsExported() || used[name.Name] {
+				continue
+			}
+			pass.Reportf(fld.Pos(), "field %s.%s is not consumed by %s; extend the cache key or annotate //lint:cachekey with the field's route into the key", canonStructName, name.Name, keyWriterName)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detorder flags range statements over maps whose body's visible effect
+// depends on iteration order: accumulating into a float (exact float
+// addition does not commute, so the sum's bits vary run to run) or
+// appending to a slice declared outside the loop (the element order
+// leaks to whatever consumes the slice — encoders especially).
+//
+// Order-erasing code passes without annotation: loops whose appended
+// slice is sorted afterwards in the same block (sort.* / slices.*
+// call naming the slice), and anything iterating via the allowlisted
+// helpers in wmcs/internal/detorder — those range a sorted key slice,
+// not the map, so they never match. Deliberate exceptions carry
+// //lint:detorder <justification>.
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Doc: "flags map iteration whose float accumulation or append order " +
+		"escapes the loop; pinned-order iteration goes through wmcs/internal/detorder",
+	Run: runDetorder,
+}
+
+// detorderPkg is the allowlisted helper package: it is the one place
+// allowed to turn a map into an ordered sequence, so the analyzer does
+// not police it.
+const detorderPkg = "wmcs/internal/detorder"
+
+func runDetorder(pass *Pass) {
+	if pass.Path == detorderPkg {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, stack)
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one map-range body for order-dependent
+// effects. stack holds rs's ancestors (for the sorted-afterwards
+// check, which looks at the statements following rs in its block).
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	// An annotation on the `for` line covers the whole loop: some
+	// bodies have several order-independent accumulations under one
+	// argument (see jv's dual update).
+	if pass.Suppressed(rs.Pos()) {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) == 1 && isFloat(pass.Info, as.Lhs[0]) && escapesLoop(pass.Info, as.Lhs[0], rs) {
+				pass.Reportf(as.Pos(), "float accumulation over map iteration is order-dependent; iterate via %s or sort first", detorderPkg)
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				rhs := as.Rhs[i]
+				if isSelfFloatFold(pass.Info, lhs, rhs) && escapesLoop(pass.Info, lhs, rs) {
+					pass.Reportf(as.Pos(), "float accumulation over map iteration is order-dependent; iterate via %s or sort first", detorderPkg)
+					continue
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(pass.Info, call) && len(call.Args) > 0 {
+					obj := rootObj(pass.Info, call.Args[0])
+					if obj == nil || !escapeObj(obj, rs) {
+						continue
+					}
+					if sortedAfterwards(pass.Info, obj, rs, stack) {
+						continue
+					}
+					pass.Reportf(as.Pos(), "append order escapes this map iteration via %q; sort the slice in this block, or iterate via %s", obj.Name(), detorderPkg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isSelfFloatFold recognizes `x = x <op> y` (either operand side) with
+// a float-typed x.
+func isSelfFloatFold(info *types.Info, lhs, rhs ast.Expr) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	if !isFloat(info, lhs) {
+		return false
+	}
+	obj := rootObj(info, lhs)
+	if obj == nil {
+		return false
+	}
+	return rootObj(info, bin.X) == obj || rootObj(info, bin.Y) == obj
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// escapesLoop reports whether e is anchored on a variable declared
+// outside rs (so the order-dependent value survives the loop). Struct
+// fields always escape: their declaration is the type, not the loop.
+func escapesLoop(info *types.Info, e ast.Expr, rs *ast.RangeStmt) bool {
+	obj := rootObj(info, e)
+	return obj != nil && escapeObj(obj, rs)
+}
+
+func escapeObj(obj types.Object, rs *ast.RangeStmt) bool {
+	return !within(rs, obj.Pos())
+}
+
+// sortedAfterwards reports whether a statement after rs in its
+// enclosing block calls into package sort or slices with obj among the
+// arguments — the append order is erased before anything can read it.
+func sortedAfterwards(info *types.Info, obj types.Object, rs *ast.RangeStmt, stack []ast.Node) bool {
+	var block *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	for _, st := range block.List {
+		if st.Pos() < rs.End() {
+			continue
+		}
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootObj(info, arg) == obj {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+// Package driver runs the lint analyzer suite under the `go vet
+// -vettool` protocol, using only the standard library (the repo
+// carries no module dependencies, so golang.org/x/tools/go/analysis is
+// deliberately not imported; the Analyzer/Pass shapes in internal/lint
+// mirror it instead).
+//
+// The protocol, as cmd/go speaks it: the tool must answer `-V=full`
+// with a self-identifying version line (cmd/go hashes it into the
+// build cache key), answer `-flags` with a JSON description of its
+// analyzer flags (we have none: `[]`), and otherwise accept a single
+// *.cfg argument — a JSON file describing one type-checked package:
+// its Go files, the export-data file of every import, and where to
+// write the "vetx" facts output. Diagnostics go to stderr and a
+// nonzero exit fails `go vet`.
+//
+// Type information is recovered from the compiler's export data via
+// go/importer's gc importer with a lookup function over the config's
+// PackageFile map — the same data the unitchecker in x/tools reads.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"wmcs/internal/lint"
+)
+
+// vetConfig is the subset of cmd/go's vet configuration the driver
+// consumes. Field names are fixed by the protocol.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	// VetxOnly marks a dependency package analyzed only for facts.
+	// The suite has no cross-package facts, so these are a no-op
+	// beyond writing the (empty) facts file.
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the wmcsvet entry point: it never returns.
+func Main(analyzers []*lint.Analyzer) {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			printVersion()
+			os.Exit(0)
+		case a == "-flags":
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: %s vet.cfg (a `go vet -vettool` driver; see DESIGN.md §15)\n", progname())
+		os.Exit(2)
+	}
+	diags, err := runConfig(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func runConfig(path string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	// The facts file must exist for cmd/go to cache, even though the
+	// suite publishes no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	// Dependencies come through as fact-only loads, and the standard
+	// library is never ours to lint.
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(p string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[p]; ok {
+			p = mapped
+		}
+		file, ok := cfg.PackageFile[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	}
+	goarch := runtime.GOARCH
+	if env := os.Getenv("GOARCH"); env != "" {
+		goarch = env
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, goarch),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+	return lint.Run(lint.NewUnit(fset, files, pkg, info, cfg.ImportPath), analyzers), nil
+}
+
+func progname() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// printVersion answers -V=full. cmd/go requires the first two fields
+// to be the program name and the word "version", and mixes the rest
+// into its action cache key — hashing the executable means a rebuilt
+// wmcsvet (new analyzers, new allowlists) invalidates cached vet
+// verdicts.
+func printVersion() {
+	h := sha256.New()
+	if self, err := os.Executable(); err == nil {
+		if f, err := os.Open(self); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version 1.0 buildID=%x\n", progname(), h.Sum(nil)[:16])
+}

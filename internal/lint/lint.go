@@ -1,0 +1,301 @@
+// Package lint hosts wmcs's in-tree static analyzers (DESIGN.md §15):
+// small go/ast + go/types checkers that turn the determinism, pooling,
+// and cache-key contracts stated in prose into build failures. The
+// suite is surfaced as cmd/wmcsvet, a `go vet -vettool` binary, so CI
+// (and any local `go vet -vettool=$(pwd)/bin/wmcsvet ./...`) enforces
+// the contracts on every package.
+//
+// # Annotation grammar
+//
+// A finding that is deliberate is silenced with a line directive:
+//
+//	//lint:<analyzer> <justification>
+//
+// placed on the flagged line or the line directly above it. The
+// justification is mandatory — an empty one is itself a diagnostic —
+// because the annotation is the documentation of *why* the contract
+// does not apply (ownership transferred, telemetry that never reaches
+// response bytes, ...). Analyzer names are the directive names:
+// detorder, noclock (directive name "wallclock"), poolput, cachekey.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named contract checker. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis.Analyzer so the suite could
+// be rehosted on the upstream framework without touching analyzer
+// logic; the framework here is stdlib-only because the repo carries no
+// module dependencies.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and is its directive
+	// name (except noclock, whose directive is "wallclock" — the
+	// annotation names the hazard, not the checker).
+	Name string
+	// Directive is the //lint:<name> tag that suppresses this
+	// analyzer's diagnostics. Usually equal to Name.
+	Directive string
+	// Doc is the one-paragraph contract statement.
+	Doc string
+	// Run reports findings on one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path is the canonical import path under analysis (test-variant
+	// suffixes trimmed).
+	Path string
+
+	unit *Unit
+	sink func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A directive is one parsed //lint:<name> <justification> comment.
+type directive struct {
+	name          string
+	justification string
+	pos           token.Position
+}
+
+// A Unit is a type-checked package plus its parsed lint directives —
+// the input shared by every analyzer. Both drivers (the vet-protocol
+// one in internal/lint/driver and the source-loading test harness in
+// internal/lint/linttest) reduce their loads to a Unit.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Path  string
+
+	// directives indexes parsed //lint: comments by file and line.
+	directives map[string]map[int]*directive
+}
+
+// NewUnit assembles a Unit and scans every file's comments for lint
+// directives. path should be the canonical import path ("wmcs/..."
+// style); any " [test-variant]" suffix is trimmed.
+func NewUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string) *Unit {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	u := &Unit{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		Path:       path,
+		directives: make(map[string]map[int]*directive),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				name, just, _ := strings.Cut(text, " ")
+				p := fset.Position(c.Pos())
+				byLine := u.directives[p.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*directive)
+					u.directives[p.Filename] = byLine
+				}
+				byLine[p.Line] = &directive{
+					name:          name,
+					justification: strings.TrimSpace(just),
+					pos:           p,
+				}
+			}
+		}
+	}
+	return u
+}
+
+// Run applies the analyzers to the unit and returns their findings
+// sorted by position. Before the analyzers proper, every directive with
+// a missing justification is reported — the annotation grammar requires
+// one, whichever analyzer it addresses.
+func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.directiveName()] = true
+	}
+	for _, byLine := range u.directives {
+		for _, d := range byLine {
+			switch {
+			case !known[d.name]:
+				sink(Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "lint",
+					Message:  fmt.Sprintf("unknown lint directive //lint:%s (have: cachekey, detorder, poolput, wallclock)", d.name),
+				})
+			case d.justification == "":
+				sink(Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "lint",
+					Message:  fmt.Sprintf("//lint:%s directive requires a justification", d.name),
+				})
+			}
+		}
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			Path:     u.Path,
+			unit:     u,
+			sink:     sink,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+func (a *Analyzer) directiveName() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
+// Reportf records a finding at pos unless a matching, justified
+// //lint: directive covers pos's line (same line or the line above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if d := p.directiveAt(position); d != nil && d.justification != "" {
+		return
+	}
+	p.sink(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether a justified directive for this analyzer
+// covers pos's line — used by analyzers that honor an annotation on an
+// enclosing construct (detorder accepts one on the range statement's
+// `for` line, covering the whole loop body).
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	d := p.directiveAt(p.Fset.Position(pos))
+	return d != nil && d.justification != ""
+}
+
+func (p *Pass) directiveAt(pos token.Position) *directive {
+	byLine := p.unit.directives[pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	name := p.Analyzer.directiveName()
+	if d := byLine[pos.Line]; d != nil && d.name == name {
+		return d
+	}
+	if d := byLine[pos.Line-1]; d != nil && d.name == name {
+		return d
+	}
+	return nil
+}
+
+// InTestFile reports whether pos lies in a _test.go file; analyzers
+// skip those (the contracts govern shipped code, and tests legitimately
+// probe order sensitivity, wall clocks, and leak paths).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns the full analyzer suite, sorted by name. This is the set
+// cmd/wmcsvet registers and DESIGN.md §15 documents.
+func All() []*Analyzer {
+	return []*Analyzer{Cachekey, Detorder, Noclock, Poolput}
+}
+
+// walkStack is ast.Inspect with an ancestor stack: fn receives each
+// node along with its ancestors, outermost first. Returning false
+// skips the node's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// rootObj resolves the variable object an lvalue-ish expression is
+// anchored on: the object of an identifier, or the field object of a
+// selector. Returns nil for anything else.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return rootObj(info, e.X)
+	case *ast.StarExpr:
+		return rootObj(info, e.X)
+	}
+	return nil
+}
+
+// within reports whether pos lies inside node's extent.
+func within(node ast.Node, pos token.Pos) bool {
+	return node.Pos() <= pos && pos < node.End()
+}

@@ -1,0 +1,119 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"wmcs/internal/lint"
+	"wmcs/internal/lint/linttest"
+)
+
+// The fixture tests pin non-vacuity for every analyzer: each fixture
+// package contains `// want` lines that must fire AND allowlisted /
+// annotated shapes that must stay silent (linttest fails on both
+// missed wants and unexpected diagnostics).
+
+func TestDetorderFixture(t *testing.T) {
+	linttest.Run(t, lint.Detorder, "detorderfix")
+}
+
+func TestNoclockFixture(t *testing.T) {
+	linttest.Run(t, lint.Noclock, "wmcs/internal/query/noclockfix")
+}
+
+// TestNoclockOutsideDeterministicSet loads a fixture full of wall-clock
+// reads at an import path outside the deterministic set; the analyzer
+// must not fire at all.
+func TestNoclockOutsideDeterministicSet(t *testing.T) {
+	linttest.Run(t, lint.Noclock, "noclockout")
+}
+
+func TestPoolputFixture(t *testing.T) {
+	linttest.Run(t, lint.Poolput, "poolfix")
+}
+
+func TestCachekeyFixture(t *testing.T) {
+	linttest.Run(t, lint.Cachekey, "cachekeyfix")
+}
+
+// TestDirectiveHygiene checks the grammar rules lint.Run enforces
+// before any analyzer runs: unknown directive names and justification-
+// free directives are themselves diagnostics.
+func TestDirectiveHygiene(t *testing.T) {
+	src := `package p
+
+//lint:bogus some reason
+var A = 1
+
+//lint:detorder
+var B = 2
+`
+	diags := runOnSource(t, src)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "unknown lint directive //lint:bogus") {
+		t.Errorf("diag 0 = %v, want unknown-directive", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "//lint:detorder directive requires a justification") {
+		t.Errorf("diag 1 = %v, want missing-justification", diags[1])
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Errorf("%v attributed to %q, want the framework name \"lint\"", d, d.Analyzer)
+		}
+	}
+}
+
+// TestUnitPathTrimsTestVariant pins the canonicalization the vet
+// driver relies on: test-augmented compilations arrive as
+// "path [path.test]" and must match the plain path for package-scoped
+// rules (noclock's deterministic set, detorder's helper allowlist).
+func TestUnitPathTrimsTestVariant(t *testing.T) {
+	u := newUnit(t, "package p\n", "wmcs/internal/query [wmcs/internal/query.test]")
+	if u.Path != "wmcs/internal/query" {
+		t.Fatalf("Path = %q, want test-variant suffix trimmed", u.Path)
+	}
+}
+
+// TestDeterministicPkg pins the path matching: whole segments only,
+// subpackages included.
+func TestDeterministicPkg(t *testing.T) {
+	for path, want := range map[string]bool{
+		"wmcs/internal/query":          true,
+		"wmcs/internal/query/sub":      true,
+		"wmcs/internal/nwst":           true,
+		"wmcs/internal/serve":          false,
+		"wmcs/internal/obs":            false,
+		"wmcs/internal/queryx":         false, // prefix of a name is not the name
+		"wmcs/cmd/benchtab":            false,
+		"other/module/internal/query":  false,
+		"wmcs/internal/mech/submodule": true,
+	} {
+		if got := lint.DeterministicPkg(path); got != want {
+			t.Errorf("DeterministicPkg(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func newUnit(t *testing.T, src, path string) *lint.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.NewUnit(fset, []*ast.File{f}, types.NewPackage(path, "p"), &types.Info{}, path)
+}
+
+// runOnSource runs the whole suite over a single-file package with no
+// type information — enough for the directive-grammar checks, which
+// fire before any analyzer consults types.
+func runOnSource(t *testing.T, src string) []lint.Diagnostic {
+	t.Helper()
+	return lint.Run(newUnit(t, src, "p"), lint.All())
+}

@@ -1,0 +1,107 @@
+// Package linttest is the fixture harness for the internal/lint
+// analyzers — a stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest. A test points Run at a
+// fixture package under internal/lint/testdata/src/<importpath>; the
+// harness type-checks it from source (resolving imports against the
+// testdata tree first, then the wmcs module, then GOROOT), runs one
+// analyzer, and diffs the diagnostics against `// want "regexp"`
+// comments in the fixture:
+//
+//	total += v // want `float accumulation`
+//
+// Every diagnostic must be matched by a want on its line and every
+// want must fire; a line with neither is asserted clean. The loader is
+// shared process-wide, so fixtures importing heavyweight repo packages
+// (wmcs/internal/nwst) pay the source-typecheck once per test binary.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"wmcs/internal/lint"
+)
+
+// Run loads the fixture package at importPath and checks analyzer a's
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, importPath string) {
+	t.Helper()
+	unit, err := sharedLoader().load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	diags := lint.Run(unit, []*lint.Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*wantExpect)
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				rx, err := regexp.Compile(text)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", unit.Fset.Position(c.Pos()), text, err)
+				}
+				p := unit.Fset.Position(c.Pos())
+				k := key{p.Filename, p.Line}
+				wants[k] = append(wants[k], &wantExpect{rx: rx, pos: p.String()})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.met && w.rx.MatchString(d.Message) {
+				w.met, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.met {
+				t.Errorf("%s: want %q did not fire", w.pos, w.rx)
+			}
+		}
+	}
+}
+
+type wantExpect struct {
+	rx  *regexp.Regexp
+	pos string
+	met bool
+}
+
+// cutWant extracts the pattern from a `// want "rx"` or `// want `+
+// "`rx`" comment, anywhere in the comment text (so it can trail code).
+func cutWant(comment string) (string, bool) {
+	_, rest, ok := strings.Cut(comment, "want ")
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if len(rest) < 2 {
+		return "", false
+	}
+	quote := rest[0]
+	if quote != '"' && quote != '`' {
+		return "", false
+	}
+	end := strings.IndexByte(rest[1:], quote)
+	if end < 0 {
+		return "", false
+	}
+	return rest[1 : 1+end], true
+}

@@ -1,0 +1,210 @@
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"wmcs/internal/lint"
+)
+
+// loader type-checks fixture packages from source. A fixture's imports
+// resolve in two ways: a sibling fixture (a directory under
+// testdata/src) is loaded recursively from source, and anything else —
+// stdlib or real wmcs packages — goes through compiler export data
+// obtained once per path from `go list -export`. That keeps fixtures
+// free to import the packages whose types the analyzers match on
+// (wmcs/internal/detorder, wmcs/internal/nwst, sync, time, math/rand)
+// without this harness re-typechecking the transitive stdlib.
+type loader struct {
+	mu       sync.Mutex
+	fset     *token.FileSet
+	repoRoot string
+	srcRoot  string
+	exports  map[string]string // import path -> export data file
+	gc       types.ImporterFrom
+	units    map[string]*lint.Unit
+	loading  map[string]bool
+}
+
+var sharedLoader = sync.OnceValue(newLoader)
+
+func newLoader() *loader {
+	root, err := findRepoRoot()
+	if err != nil {
+		panic("linttest: " + err.Error())
+	}
+	l := &loader{
+		fset:     token.NewFileSet(),
+		repoRoot: root,
+		srcRoot:  filepath.Join(root, "internal", "lint", "testdata", "src"),
+		exports:  make(map[string]string),
+		units:    make(map[string]*lint.Unit),
+		loading:  make(map[string]bool),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// findRepoRoot walks up from the working directory (the package source
+// dir under `go test`) to the directory holding go.mod.
+func findRepoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// lookup feeds the gc importer the export data files ensureExports
+// collected.
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+func (l *loader) load(importPath string) (*lint.Unit, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadLocked(importPath)
+}
+
+func (l *loader) loadLocked(importPath string) (*lint.Unit, error) {
+	if u, ok := l.units[importPath]; ok {
+		return u, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("fixture import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	if err := l.ensureExports(imports); err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: fixtureImporter{l},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", importPath, err)
+	}
+	u := lint.NewUnit(l.fset, files, pkg, info, importPath)
+	l.units[importPath] = u
+	return u, nil
+}
+
+// ensureExports resolves export data files for every non-fixture import
+// not yet known, in one `go list -export -deps` run from the repo root
+// (-deps so the gc importer can follow indirect references).
+func (l *loader) ensureExports(imports []string) error {
+	var need []string
+	seen := make(map[string]bool)
+	for _, p := range imports {
+		if p == "unsafe" || seen[p] || l.exports[p] != "" || l.isFixture(p) {
+			continue
+		}
+		seen[p] = true
+		need = append(need, p)
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, need...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.repoRoot
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return fmt.Errorf("go list -export %v: %v\n%s", need, err, ee.Stderr)
+		}
+		return fmt.Errorf("go list -export %v: %v", need, err)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		ip, exp, ok := strings.Cut(line, "\t")
+		if ok && exp != "" {
+			l.exports[ip] = exp
+		}
+	}
+	return nil
+}
+
+func (l *loader) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// fixtureImporter routes imports during a fixture typecheck: sibling
+// fixtures from source, everything else through export data. It runs
+// inside loadLocked, so recursive loads stay under the loader's lock.
+type fixtureImporter struct{ l *loader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	return fi.ImportFrom(path, "", 0)
+}
+
+func (fi fixtureImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if fi.l.isFixture(path) {
+		u, err := fi.l.loadLocked(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return fi.l.gc.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Noclock bans ambient nondeterminism — wall-clock reads and the
+// process-global math/rand source — in the deterministic packages: the
+// layers whose outputs are pinned byte-for-byte by the differential
+// sweeps (width-1 ≡ width-N, pooled ≡ fresh, serial ≡ parallel).
+//
+// Seeded constructors (rand.New, rand.NewSource, rand.NewPCG, ...) and
+// methods on a *rand.Rand value are fine: given the seed they are pure
+// functions, and the repo's per-cell RNG discipline is built on them.
+// What cannot appear without annotation is anything reading state the
+// test harness does not control: time.Now/Since/Until/Sleep/..., and
+// package-level rand functions, which draw from the shared global
+// source. The serve/obs layers sit outside the deterministic set —
+// latency telemetry is their job. Inside the set, a deliberate
+// wall-clock read (e.g. duration metadata that never reaches response
+// bytes) carries //lint:wallclock <justification>.
+var Noclock = &Analyzer{
+	Name:      "noclock",
+	Directive: "wallclock",
+	Doc: "bans time.Now-style wall-clock reads and global math/rand " +
+		"calls in the deterministic packages",
+	Run: runNoclock,
+}
+
+// deterministicPkgs are the package names under wmcs/internal/ whose
+// outputs must be a pure function of their inputs. Matching is by path
+// segment: wmcs/internal/<name> and everything below it.
+var deterministicPkgs = []string{
+	"engine",
+	"experiments",
+	"instances",
+	"mech",
+	"mechreg",
+	"memtred",
+	"nwst",
+	"nwstmech",
+	"query",
+	"sharing",
+	"wmech",
+}
+
+// bannedTimeFuncs are the package time functions that read or schedule
+// against the wall clock. Types (time.Duration, time.Time) and pure
+// constructors/parsers remain available.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// DeterministicPkg reports whether path is inside the deterministic
+// set. Exported for the meta-test that pins the documented set.
+func DeterministicPkg(path string) bool {
+	for _, name := range deterministicPkgs {
+		prefix := "wmcs/internal/" + name
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoclock(pass *Pass) {
+	if !DeterministicPkg(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			// Only function references count: *rand.Rand in a
+			// signature is the discipline, not a violation.
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "time":
+				if bannedTimeFuncs[name] {
+					pass.Reportf(sel.Pos(), "wall-clock time.%s in deterministic package %s; annotate //lint:wallclock if the value never reaches pinned output", name, pass.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(name, "New") {
+					pass.Reportf(sel.Pos(), "global rand.%s draws from the process-wide source in deterministic package %s; use a seeded *rand.Rand", name, pass.Path)
+				}
+			}
+			return true
+		})
+	}
+}

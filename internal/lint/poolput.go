@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolput requires that every checkout from a recognized object pool is
+// returned by a deferred Put on every exit path of the function that
+// took it: `x := p.Get(...)` must be matched by `defer p.Put(...)` (or
+// a deferred closure containing the Put) on the same pool expression.
+// A non-deferred Put is exactly the PR 8 InFlight bug class — a panic
+// or early return between Get and Put leaks the object, and the
+// differential sweeps only catch it if they happen to drive that path.
+//
+// Recognized pools: sync.Pool and wmcs/internal/nwst.StatePool (the
+// obs trace pool and the lp.Workspace pool are sync.Pools and so
+// covered). Ownership transfer — Get in a constructor whose caller
+// releases elsewhere, as in obs.Tracer.Start — carries
+// //lint:poolput <justification>.
+var Poolput = &Analyzer{
+	Name: "poolput",
+	Doc: "requires a deferred Put for every sync.Pool / nwst.StatePool " +
+		"Get, so pooled objects survive panics and early returns",
+	Run: runPoolput,
+}
+
+// poolTypes maps (package path, type name) to the recognized pools.
+var poolTypes = map[[2]string]bool{
+	{"sync", "Pool"}:                    true,
+	{"wmcs/internal/nwst", "StatePool"}: true,
+}
+
+func runPoolput(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Get" {
+				return true
+			}
+			recvT := pass.Info.Types[sel.X].Type
+			if !isPoolType(recvT) {
+				return true
+			}
+			fn := enclosingFunc(stack)
+			if fn == nil {
+				// Get in a package-level initializer: nothing to defer
+				// against; require an annotation.
+				pass.Reportf(call.Pos(), "pool Get outside a function body; annotate //lint:poolput with the ownership story")
+				return true
+			}
+			pool := types.ExprString(sel.X)
+			if !hasDeferredPut(pass.Info, fn, pool) {
+				pass.Reportf(call.Pos(), "pool Get on %s without a deferred %s.Put in the same function; defer the Put (or annotate //lint:poolput if ownership transfers)", pool, pool)
+			}
+			return true
+		})
+	}
+}
+
+func isPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return poolTypes[[2]string{obj.Pkg().Path(), obj.Name()}]
+}
+
+// enclosingFunc returns the body of the innermost enclosing function
+// declaration or literal.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// hasDeferredPut reports whether body contains `defer <pool>.Put(...)`,
+// directly or inside a deferred closure, where <pool> renders to the
+// same expression string as the Get's receiver.
+func hasDeferredPut(info *types.Info, body *ast.BlockStmt, pool string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isPutOn(ds.Call, pool) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isPutOn(call, pool) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isPutOn(call *ast.CallExpr, pool string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if name := sel.Sel.Name; name != "Put" && name != "Release" {
+		return false
+	}
+	return types.ExprString(sel.X) == pool
+}

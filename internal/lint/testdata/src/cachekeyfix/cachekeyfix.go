@@ -1,0 +1,34 @@
+// Package cachekeyfix declares doubles of serve's CanonRequest and
+// buildKey so the cachekey analyzer has an activation site: consumed
+// fields (directly and through a helper) pass, an unkeyed exported
+// field fires, and an annotated field names its other route.
+package cachekeyfix
+
+import "strconv"
+
+// CanonRequest mirrors the serve struct shape the analyzer guards.
+type CanonRequest struct {
+	// Annotated enters the key outside buildKey, per its annotation.
+	//lint:cachekey fixture: keyed by the entry prefix, not buildKey
+	Annotated string
+	Mechanism string
+	Cells     int
+	Forgotten string // want `field CanonRequest\.Forgotten is not consumed by buildKey`
+	internal  string
+}
+
+func buildKey(c *CanonRequest) string {
+	return c.Mechanism + "|" + cellsPart(c)
+}
+
+// cellsPart is reached transitively from buildKey, so the field it
+// selects counts as consumed.
+func cellsPart(c *CanonRequest) string {
+	return strconv.Itoa(c.Cells)
+}
+
+// Touch keeps the unexported field referenced so the fixture compiles
+// without a vet complaint about unused fields elsewhere.
+func Touch(c *CanonRequest) string {
+	return c.internal
+}

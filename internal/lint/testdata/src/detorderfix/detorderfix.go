@@ -1,0 +1,104 @@
+// Package detorderfix is the detorder analyzer fixture: map-range
+// accumulations that must fire, and the ordered / order-erased /
+// annotated shapes that must not.
+package detorderfix
+
+import (
+	"sort"
+
+	"wmcs/internal/detorder"
+)
+
+// FloatAccum folds floats in map iteration order — the canonical bug.
+func FloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation over map iteration`
+	}
+	return sum
+}
+
+// SelfFold is the spelled-out form of the same bug.
+func SelfFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `float accumulation over map iteration`
+	}
+	return sum
+}
+
+// IntAccum is order-independent: integer addition commutes exactly.
+func IntAccum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// LocalFloat accumulates into a variable that dies with the iteration
+// body, so no order-dependent value escapes.
+func LocalFloat(m map[string][]float64) int {
+	var n int
+	for _, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		if rowSum > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EscapingAppend returns a slice built in map iteration order.
+func EscapingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append order escapes this map iteration via "keys"`
+	}
+	return keys
+}
+
+// SortedAppend sorts the slice in the same block before anything reads
+// it — the append order is erased, so this is clean.
+func SortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Annotated carries a justified whole-loop directive on the range
+// statement's line, covering the accumulation inside.
+func Annotated(m map[string]float64) float64 {
+	var sum float64
+	//lint:detorder fixture: every addend is identical, so order cannot matter
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// ViaHelper iterates the sorted view — the blessed pattern. The range
+// target is an iterator function, not a map, so the analyzer never
+// matches.
+func ViaHelper(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range detorder.Sorted(m) {
+		sum += v
+	}
+	return sum
+}
+
+// ViaKeys walks detorder.Keys — a sorted slice, not a map.
+func ViaKeys(m map[string]float64) []string {
+	var out []string
+	for _, k := range detorder.Keys(m) {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package noclockout is outside the deterministic set (its fixture
+// import path is not under wmcs/internal/<deterministic>), so noclock
+// must stay silent on wall-clock reads here — telemetry layers like
+// serve and obs own the clock.
+package noclockout
+
+import "time"
+
+// Stamp reads the wall clock, legitimately.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Latency measures elapsed time, legitimately.
+func Latency(start time.Time) time.Duration {
+	return time.Since(start)
+}

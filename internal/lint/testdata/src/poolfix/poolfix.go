@@ -1,0 +1,61 @@
+// Package poolfix is the poolput analyzer fixture: pool checkouts with
+// and without the deferred return, across both recognized pool types.
+package poolfix
+
+import (
+	"sync"
+
+	"wmcs/internal/nwst"
+)
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// Balanced is the contract: Get paired with a deferred Put.
+func Balanced() int {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return len(*b)
+}
+
+// Leaky takes from the pool and never returns it.
+func Leaky() int {
+	b := bufs.Get().(*[]byte) // want `pool Get on bufs without a deferred bufs\.Put`
+	return len(*b)
+}
+
+// NotDeferred puts the object back, but not via defer — a panic or an
+// early return between Get and Put leaks it.
+func NotDeferred(risky func()) int {
+	b := bufs.Get().(*[]byte) // want `pool Get on bufs without a deferred bufs\.Put`
+	risky()
+	n := len(*b)
+	bufs.Put(b)
+	return n
+}
+
+// ClosurePut defers a closure containing the Put — the rebind-safe
+// shape for objects reassigned after Get.
+func ClosurePut() int {
+	b := bufs.Get().(*[]byte)
+	defer func() { bufs.Put(b) }()
+	return len(*b)
+}
+
+// Transferred hands the object to the caller, who must return it; the
+// ownership story rides on the annotation.
+func Transferred() *[]byte {
+	b := bufs.Get().(*[]byte) //lint:poolput fixture: ownership transfers to the caller, who Puts on release
+	return b
+}
+
+// StateBalanced covers the second recognized pool type,
+// nwst.StatePool.
+func StateBalanced(p *nwst.StatePool, terminals []int, free []bool) {
+	st := p.Get(terminals, free)
+	defer p.Put(st)
+}
+
+// StateLeaky leaks from an nwst.StatePool.
+func StateLeaky(p *nwst.StatePool, terminals []int, free []bool) *nwst.State {
+	return p.Get(terminals, free) // want `pool Get on p without a deferred p\.Put`
+}

@@ -1,0 +1,44 @@
+// Package noclockfix sits (by fixture import path) inside the
+// deterministic set, so noclock polices it: wall-clock reads and
+// global-source rand calls fire; seeded RNG discipline and annotated
+// telemetry pass.
+package noclockfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock — the canonical violation.
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock time\.Now in deterministic package`
+}
+
+// Elapsed reads the clock twice over.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock time\.Since in deterministic package`
+}
+
+// GlobalDraw pulls from the process-wide source.
+func GlobalDraw() float64 {
+	return rand.Float64() // want `global rand\.Float64 draws from the process-wide source`
+}
+
+// SeededDraw is the repo's RNG discipline: a seeded *rand.Rand is a
+// pure function of its seed. The constructor's New prefix and the
+// method call (not a package selector) both pass.
+func SeededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// AnnotatedStamp is telemetry that never reaches pinned output.
+func AnnotatedStamp() time.Time {
+	return time.Now() //lint:wallclock fixture: duration metadata only, never serialized into pinned bytes
+}
+
+// DurationType uses time for its types only — not a function
+// reference, so never flagged.
+func DurationType(d time.Duration) time.Duration {
+	return d * 2
+}

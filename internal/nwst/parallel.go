@@ -129,9 +129,9 @@ func kleinRaviParallel(s *State, minCover int, pool *engine.Pool) (Spider, bool)
 	out := engine.Map(pool, ns, func(b int) sliceResult {
 		lo, hi := b*n/ns, (b+1)*n/ns
 		sc := oracleScratchPool.Get().(*oracleScratch)
+		defer oracleScratchPool.Put(sc)
 		sc.grow(n)
 		sp, ok := krScanCenters(s, lo, hi, paying, minCover, sc)
-		oracleScratchPool.Put(sc)
 		return sliceResult{sp, ok}
 	})
 	return foldSlices(Spider{Ratio: math.Inf(1)}, false, out)
@@ -233,21 +233,21 @@ func ParallelBranchSpiderOracle(pool *engine.Pool) Oracle {
 		ns := oracleSlices(n)
 		engine.Map(pool, ns, func(b int) struct{} {
 			sc := oracleScratchPool.Get().(*oracleScratch)
+			defer oracleScratchPool.Put(sc)
 			sc.grow(n)
 			for v := b * n / ns; v < (b+1)*n/ns; v++ {
 				if s.alive[v] {
 					s.nodeDistStopWith(sc.heap, &sc.done, v, dists[v], parents[v], -1)
 				}
 			}
-			oracleScratchPool.Put(sc)
 			return struct{}{}
 		})
 		out := engine.Map(pool, ns, func(b int) sliceResult {
 			lo, hi := b*n/ns, (b+1)*n/ns
 			sc := oracleScratchPool.Get().(*oracleScratch)
+			defer oracleScratchPool.Put(sc)
 			sc.grow(n)
 			sp, ok := branchScanCenters(s, lo, hi, paying, minCover, dists, parents, sc)
-			oracleScratchPool.Put(sc)
 			return sliceResult{sp, ok}
 		})
 		return foldSlices(base, okBase, out)

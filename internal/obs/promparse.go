@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"wmcs/internal/detorder"
 )
 
 // This file is the scrape side of prom.go: a strict parser for the text
@@ -355,16 +357,11 @@ func leOf(s PromSample) float64 {
 
 // seriesKey renders labels-minus-le deterministically.
 func seriesKey(labels map[string]string) string {
-	keys := make([]string, 0, len(labels))
-	for k := range labels {
+	parts := make([]string, 0, len(labels))
+	for k, v := range detorder.Sorted(labels) {
 		if k != "le" {
-			keys = append(keys, k)
+			parts = append(parts, k+"="+v)
 		}
-	}
-	sort.Strings(keys)
-	parts := make([]string, len(keys))
-	for i, k := range keys {
-		parts[i] = k + "=" + labels[k]
 	}
 	return strings.Join(parts, ",")
 }

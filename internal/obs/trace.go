@@ -296,6 +296,7 @@ func hex8(v uint32) string {
 // Start checks a reset trace out of the pool with a fresh ID and the
 // given op. Release it (after any ring Offer) when the request is done.
 func (tr *Tracer) Start(op string) *Trace {
+	//lint:poolput ownership transfers to the caller, who returns it via Tracer.Release when the request finishes
 	t := tr.pool.Get().(*Trace)
 	*t = Trace{
 		ID:    tr.salt + "-" + strconv.FormatUint(tr.seq.Add(1), 16),
@@ -309,6 +310,7 @@ func (tr *Tracer) Start(op string) *Trace {
 // child's ID is the parent's plus ".i", so a slow element's ring entry
 // points back at the batch that carried it.
 func (tr *Tracer) StartChild(parent *Trace, i int) *Trace {
+	//lint:poolput ownership transfers to the caller, who returns it via Tracer.Release when the request finishes
 	t := tr.pool.Get().(*Trace)
 	*t = Trace{
 		ID:    parent.ID + "." + strconv.Itoa(i),

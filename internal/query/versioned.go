@@ -1,11 +1,11 @@
 package query
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wmcs/internal/detorder"
 	"wmcs/internal/memtred"
 	"wmcs/internal/wireless"
 )
@@ -150,10 +150,10 @@ func (v *VersionedEvaluator) Update(mutate func(*wireless.Network) error) (Updat
 	cur := v.cur.Load()
 	res.OldNet = cur.Ev.Network()
 	res.NewNet = work
-	start := time.Now()
+	start := time.Now() //lint:wallclock rebuild-duration telemetry (UpdateResult.Rebuild feeds /statsz histograms); never reaches response bytes
 	if !cur.Ev.noDelta && v.live.StateEqual(work) {
 		res.Unchanged, res.Incremental = true, true
-		res.Rebuild = time.Since(start)
+		res.Rebuild = time.Since(start) //lint:wallclock rebuild-duration telemetry; never reaches response bytes
 		v.live = work
 		v.cur.Store(&Versioned{Ev: cur.Ev, Version: res.NewVersion})
 		return res, nil
@@ -187,7 +187,7 @@ func (v *VersionedEvaluator) Update(mutate func(*wireless.Network) error) (Updat
 		}
 		res.RebuiltMechs++
 	}
-	res.Rebuild = time.Since(start)
+	res.Rebuild = time.Since(start) //lint:wallclock rebuild-duration telemetry; never reaches response bytes
 	v.live = work
 	v.cur.Store(&Versioned{Ev: next, Version: res.NewVersion})
 	return res, nil
@@ -199,10 +199,5 @@ func (v *VersionedEvaluator) Update(mutate func(*wireless.Network) error) (Updat
 func (e *Evaluator) BuiltNames() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	names := make([]string, 0, len(e.mechs))
-	for name := range e.mechs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return detorder.Keys(e.mechs)
 }

@@ -80,6 +80,7 @@ var ErrBadApprox = errors.New("invalid approx spec")
 // name and generation to form the cache key, so entries can never
 // outlive the registration they were computed against.
 type CanonRequest struct {
+	//lint:cachekey enters the cache key as the serving layer's name+generation.version prefix (entry.prefixFor), never via buildKey
 	Network string
 	Mech    string
 	Profile mech.Profile
@@ -88,7 +89,8 @@ type CanonRequest struct {
 	// from it, so the exact and sampled tiers (and distinct specs) occupy
 	// disjoint key spaces.
 	Approx *mech.ApproxSpec
-	Key    string
+	//lint:cachekey Key is buildKey's output, not an input the key must cover
+	Key string
 }
 
 // mechNames is the set form of the descriptor registry's names for O(1)

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wmcs/internal/mechreg"
+)
+
+// FuzzCanonicalize drives the request codec with arbitrary utilities,
+// receiver indices, and mechanism picks over a fixed 4-station network
+// (source 0), and checks the cache-key contract's invariants on
+// whatever Canonicalize accepts:
+//
+//   - rejection is total for non-finite, negative, or grid-overflowing
+//     utilities and out-of-range receivers;
+//   - canonicalization is deterministic (same request, same key);
+//   - the documented (R, u) ≡ (nil, mask(u)) equivalence holds: folding
+//     R into the wire profile by hand and resubmitting with R=nil
+//     reproduces the key, so both forms share a cache entry;
+//   - the canonical profile is zero at the source and outside R;
+//   - Key is buildKey's rendering of the canonical form.
+//
+// CI runs this under `go test -fuzz` for a short smoke (the
+// static-analysis job, DESIGN.md §15); the committed corpus under
+// testdata/fuzz keeps the interesting shapes replaying as plain tests.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 1, 2, 0)
+	f.Add(0.0, 0.0, 0.0, 0, 0, 1)         // all-zero profile, source receiver
+	f.Add(1.5e-7, 2.5e-7, 1e300, 3, 3, 2) // sub-quantum utilities, huge one
+	f.Add(math.NaN(), 1.0, 1.0, 1, 2, 3)  // NaN: reject
+	f.Add(-0.5, 1.0, 1.0, 1, 2, 4)        // negative: reject
+	f.Add(1.0, 1.0, 1.0, -1, 9, 5)        // receivers out of range: reject
+	f.Add(math.Inf(1), 1.0, 1.0, 1, 2, 6) // +Inf: reject
+	f.Add(1.8e302, 1.0, 1.0, 1, 2, 7)     // overflows the grid: reject
+	f.Fuzz(func(t *testing.T, u1, u2, u3 float64, r1, r2, mechPick int) {
+		const n, source = 4, 0
+		names := mechreg.Names()
+		mechName := names[abs(mechPick)%len(names)]
+		req := EvalRequest{
+			Network: "fuzz",
+			Mech:    mechName,
+			R:       []int{r1, r2},
+			Profile: []float64{0, u1, u2, u3},
+		}
+		c, err := Canonicalize(req, n, source)
+
+		badUtility := false
+		for _, v := range req.Profile {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || math.IsInf(quantize(v), 0) {
+				badUtility = true
+			}
+		}
+		badReceiver := r1 < 0 || r1 >= n || r2 < 0 || r2 >= n
+		if badUtility || badReceiver {
+			if err == nil {
+				t.Fatalf("invalid request accepted: u=%v R=%v key=%q", req.Profile, req.R, c.Key)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid request rejected: u=%v R=%v: %v", req.Profile, req.R, err)
+		}
+
+		again, err := Canonicalize(req, n, source)
+		if err != nil || again.Key != c.Key {
+			t.Fatalf("canonicalization not deterministic: %v, %q vs %q", err, again.Key, c.Key)
+		}
+
+		// Fold R into the wire profile by hand and resubmit with R=nil:
+		// the codec documents these as the same query.
+		folded := make([]float64, n)
+		folded[r1] = req.Profile[r1]
+		folded[r2] = req.Profile[r2]
+		folded[source] = 0
+		equiv, err := Canonicalize(EvalRequest{Network: "fuzz", Mech: mechName, Profile: folded}, n, source)
+		if err != nil || equiv.Key != c.Key {
+			t.Fatalf("(R,u) and (nil,mask(u)) disagree: %v, %q vs %q", err, equiv.Key, c.Key)
+		}
+
+		inR := map[int]bool{r1: true, r2: true}
+		for i, v := range c.Profile {
+			if (i == source || !inR[i]) && v != 0 {
+				t.Fatalf("canonical utility %d = %v outside R (or at the source) is nonzero", i, v)
+			}
+		}
+		if want := buildKey(c); c.Key != want {
+			t.Fatalf("Key %q is not buildKey's rendering %q", c.Key, want)
+		}
+		if !strings.HasPrefix(c.Key, mechName) {
+			t.Fatalf("key %q does not start with the mechanism name %q", c.Key, mechName)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == math.MinInt {
+			return 0
+		}
+		return -x
+	}
+	return x
+}

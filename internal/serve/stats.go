@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wmcs/internal/detorder"
 	"wmcs/internal/mechreg"
 	"wmcs/internal/obs"
 )
@@ -243,15 +244,16 @@ func (s *Stats) RebuildHistograms() []histSnap {
 	return out
 }
 
-// eachHist visits every per-mechanism histogram, known and extra, in
-// unspecified order.
+// eachHist visits every per-mechanism histogram: the registry-known
+// set first, then the extras, each group in ascending name order
+// (detorder) so exposition output is stable scrape to scrape.
 func (s *Stats) eachHist(fn func(name string, h *latHist)) {
-	for name, h := range s.known {
+	for name, h := range detorder.Sorted(s.known) {
 		fn(name, h)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for name, h := range s.extra {
+	for name, h := range detorder.Sorted(s.extra) {
 		fn(name, h)
 	}
 }

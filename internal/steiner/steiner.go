@@ -217,10 +217,8 @@ func DreyfusWagner(g *graph.Graph, terms []int) Tree {
 		}
 	}
 	var edges []graph.Edge
-	var cost float64
 	for p, w := range edgeSet {
 		edges = append(edges, graph.Edge{From: p[0], To: p[1], W: w})
-		cost += w
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].From != edges[j].From {
@@ -228,6 +226,13 @@ func DreyfusWagner(g *graph.Graph, terms []int) Tree {
 		}
 		return edges[i].To < edges[j].To
 	})
+	// Summed after the sort: float addition does not commute exactly,
+	// so accumulating in map order would let Go's iteration seed pick
+	// the tree cost's low bits.
+	var cost float64
+	for _, e := range edges {
+		cost += e.W
+	}
 	// Defensive: shared subpaths between merged branches can create cycles
 	// in degenerate tie cases; re-span and prune to a clean tree.
 	sub := graph.New(n)

@@ -127,6 +127,10 @@ func (m *Mechanism) attempt(u mech.Profile, active []int) (Result, []int, bool) 
 	// byte-equivalent to the fresh allocation it replaces.
 	n := m.rd.G.N()
 	uh, _ := m.uhPool.Get().(mech.Profile)
+	// Deferred closure, not a plain defer: uh is rebound when the
+	// pooled buffer is too small, and the grown buffer is the one
+	// worth keeping.
+	defer func() { m.uhPool.Put(uh) }()
 	if cap(uh) < n {
 		uh = make(mech.Profile, n)
 	}
@@ -139,7 +143,6 @@ func (m *Mechanism) attempt(u mech.Profile, active []int) (Result, []int, bool) 
 	}
 	inner := nwstmech.NewMemoized(inst, m.Oracle, m.spool, m.memo)
 	det := inner.RunDetailed(uh)
-	m.uhPool.Put(uh)
 	// Map surviving input-node terminals back to stations.
 	var served []int
 	for _, t := range det.Outcome.Receivers {
